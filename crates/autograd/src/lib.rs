@@ -1,0 +1,47 @@
+//! # membit-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`membit_tensor::Tensor`], purpose-built for the `membit` workspace: it
+//! provides exactly the operator set a binary-weight VGG on a noisy
+//! memristive crossbar needs, including straight-through estimators for the
+//! `sign`/k-level quantizers and the GBO **noise-mixture** op whose gradient
+//! with respect to the mixing weights drives the paper's bit-encoding
+//! search (Eq. 5–7 of the paper).
+//!
+//! The programming model is define-by-run: every forward op appends a node
+//! to a [`Tape`]; [`Tape::backward`] walks the nodes in reverse creation
+//! order (a valid topological order by construction) accumulating
+//! gradients.
+//!
+//! ```
+//! use membit_autograd::Tape;
+//! use membit_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), membit_tensor::TensorError> {
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![2.0], &[1])?, true);
+//! let y = tape.mul(x, x)?; // y = x²
+//! tape.backward(y)?;
+//! assert_eq!(tape.grad(x).unwrap().as_slice(), &[4.0]); // dy/dx = 2x
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv_ops;
+mod elementwise;
+mod gradcheck;
+mod linalg;
+mod loss;
+mod norm;
+mod op;
+mod quant;
+mod tape;
+
+pub use gradcheck::{check_gradients, GradCheckReport};
+pub use tape::{Tape, VarId};
+
+/// Convenience alias matching [`membit_tensor::Result`].
+pub type Result<T> = std::result::Result<T, membit_tensor::TensorError>;

@@ -1,0 +1,131 @@
+//! Loss functions on the tape.
+
+use membit_tensor::{Tensor, TensorError};
+
+use crate::op::Op;
+use crate::tape::{Tape, VarId};
+use crate::Result;
+
+impl Tape {
+    /// Fused softmax + mean cross-entropy over `[N, K]` class logits.
+    ///
+    /// Returns a scalar loss. The fused form is numerically stable
+    /// (log-sum-exp with max subtraction) and has the textbook gradient
+    /// `(softmax − onehot)/N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-matrix logits, and
+    /// [`TensorError::InvalidArgument`] if `labels` disagrees with the
+    /// batch size or contains an out-of-range class.
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: &[usize]) -> Result<VarId> {
+        let lv = self.value(logits);
+        if lv.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "softmax_cross_entropy",
+                expected: 2,
+                actual: lv.rank(),
+            });
+        }
+        let (n, k) = (lv.shape()[0], lv.shape()[1]);
+        if labels.len() != n {
+            return Err(TensorError::InvalidArgument(format!(
+                "label count {} does not match batch size {n}",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= k) {
+            return Err(TensorError::InvalidArgument(format!(
+                "label {bad} out of range for {k} classes"
+            )));
+        }
+        let mut probs = Tensor::zeros(&[n, k]);
+        let mut loss = 0.0f64;
+        {
+            let src = lv.as_slice();
+            let dst = probs.as_mut_slice();
+            for i in 0..n {
+                let row = &src[i * k..(i + 1) * k];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0f32;
+                for (j, &v) in row.iter().enumerate() {
+                    let e = (v - m).exp();
+                    dst[i * k + j] = e;
+                    z += e;
+                }
+                for j in 0..k {
+                    dst[i * k + j] /= z;
+                }
+                loss -= f64::from((dst[i * k + labels[i]]).max(1e-30).ln());
+            }
+        }
+        let value = Tensor::scalar((loss / n as f64) as f32);
+        Ok(self.push_op(
+            value,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                probs,
+                labels: labels.to_vec(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_ln_k() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::zeros(&[4, 10]), true);
+        let l = tape.softmax_cross_entropy(logits, &[0, 3, 5, 9]).unwrap();
+        assert!((tape.value(l).item() - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut tape = Tape::new();
+        let mut t = Tensor::zeros(&[1, 3]);
+        t.set(&[0, 1], 20.0);
+        let logits = tape.leaf(t, true);
+        let l = tape.softmax_cross_entropy(logits, &[1]).unwrap();
+        assert!(tape.value(l).item() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot_over_n() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::zeros(&[2, 2]), true);
+        let l = tape.softmax_cross_entropy(logits, &[0, 1]).unwrap();
+        tape.backward(l).unwrap();
+        let g = tape.grad(logits).unwrap();
+        // probs = 0.5 everywhere; (0.5 − onehot)/2
+        assert!(g.allclose(
+            &Tensor::from_vec(vec![-0.25, 0.25, 0.25, -0.25], &[2, 2]).unwrap(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn validates_labels() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::zeros(&[2, 3]), true);
+        assert!(tape.softmax_cross_entropy(logits, &[0]).is_err());
+        assert!(tape.softmax_cross_entropy(logits, &[0, 3]).is_err());
+        let vec_logits = tape.leaf(Tensor::zeros(&[3]), true);
+        assert!(tape.softmax_cross_entropy(vec_logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn loss_is_stable_for_huge_logits() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(
+            Tensor::from_vec(vec![1e4, -1e4, 0.0, 1e4], &[2, 2]).unwrap(),
+            true,
+        );
+        let l = tape.softmax_cross_entropy(logits, &[0, 1]).unwrap();
+        let v = tape.value(l).item();
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,173 @@
+//! Batch normalization on the tape.
+
+use membit_tensor::{Tensor, TensorError};
+
+use crate::op::Op;
+use crate::tape::{Tape, VarId};
+use crate::Result;
+
+impl Tape {
+    /// Training-mode batch normalization over the channel axis (axis 1) of
+    /// a `[N, C, ...]` tensor: `y = (x − μ_c)/√(σ²_c + ε) · γ + β`.
+    ///
+    /// Returns the output handle plus the batch mean and (population)
+    /// variance so callers can maintain running statistics for inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for inputs of rank < 2 and shape errors if
+    /// `gamma`/`beta` are not `[C]`.
+    pub fn batch_norm(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f32,
+    ) -> Result<(VarId, Tensor, Tensor)> {
+        let xv = self.value(x);
+        if xv.rank() < 2 {
+            return Err(TensorError::RankMismatch {
+                op: "batch_norm",
+                expected: 2,
+                actual: xv.rank(),
+            });
+        }
+        let c = xv.shape()[1];
+        if self.value(gamma).shape() != [c] || self.value(beta).shape() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_norm params",
+                lhs: self.value(gamma).shape().to_vec(),
+                rhs: vec![c],
+            });
+        }
+        let mean = xv.mean_channels()?;
+        let var = xv.var_channels()?;
+        let invstd = var.map(|v| 1.0 / (v + eps).sqrt());
+        let centered = xv.channel_map(&mean, |v, m| v - m)?;
+        let xhat = centered.mul_channels(&invstd)?;
+        let value = xhat
+            .mul_channels(self.value(gamma))?
+            .add_channels(self.value(beta))?;
+        let id = self.push_op(
+            value,
+            Op::BatchNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                invstd,
+            },
+        );
+        Ok((id, mean, var))
+    }
+
+    /// Inference-mode batch normalization using fixed (running) statistics.
+    ///
+    /// Gradient flows through `x`, `gamma` and `beta` but the statistics
+    /// are constants — exactly what the GBO search phase needs, where
+    /// weights and statistics are frozen but gradients must still reach
+    /// earlier layers' encoding parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches between `x`, the statistics and the
+    /// affine parameters.
+    pub fn batch_norm_inference(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> Result<VarId> {
+        let invstd = running_var.map(|v| 1.0 / (v + eps).sqrt());
+        let neg_mean = running_mean.neg();
+        let nm = self.constant(neg_mean);
+        let centered = self.add_channels(x, nm)?;
+        let istd = self.constant(invstd);
+        let xhat = self.mul_channels(centered, istd)?;
+        let scaled = self.mul_channels(xhat, gamma)?;
+        self.add_channels(scaled, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_channels() {
+        let mut tape = Tape::new();
+        // channel 0: {1, 3}, channel 1: {10, 10}
+        let xv = Tensor::from_vec(vec![1.0, 10.0, 3.0, 10.0], &[2, 2]).unwrap();
+        let x = tape.leaf(xv, true);
+        let g = tape.leaf(Tensor::ones(&[2]), true);
+        let b = tape.leaf(Tensor::zeros(&[2]), true);
+        let (y, mean, var) = tape.batch_norm(x, g, b, 1e-5).unwrap();
+        assert_eq!(mean.as_slice(), &[2.0, 10.0]);
+        assert_eq!(var.as_slice(), &[1.0, 0.0]);
+        let out = tape.value(y);
+        assert!((out.get(&[0, 0]) + 1.0).abs() < 1e-2);
+        assert!((out.get(&[1, 0]) - 1.0).abs() < 1e-2);
+        assert!(out.get(&[0, 1]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grad_of_sum_is_zero_through_normalization() {
+        // Normalization makes the output mean-invariant: ∂Σy/∂x ≈ 0.
+        let mut tape = Tape::new();
+        let xv = Tensor::from_vec(vec![1.0, 2.0, 3.0, 5.0], &[4, 1]).unwrap();
+        let x = tape.leaf(xv, true);
+        let g = tape.leaf(Tensor::ones(&[1]), false);
+        let b = tape.leaf(Tensor::zeros(&[1]), false);
+        let (y, _, _) = tape.batch_norm(x, g, b, 1e-5).unwrap();
+        let l = tape.sum_all(y);
+        tape.backward(l).unwrap();
+        for &v in tape.grad(x).unwrap().as_slice() {
+            assert!(v.abs() < 1e-4, "grad leak {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_grads() {
+        let mut tape = Tape::new();
+        let xv = Tensor::from_vec(vec![1.0, 3.0], &[2, 1]).unwrap();
+        let x = tape.leaf(xv, false);
+        let g = tape.leaf(Tensor::ones(&[1]), true);
+        let b = tape.leaf(Tensor::zeros(&[1]), true);
+        let (y, _, _) = tape.batch_norm(x, g, b, 1e-5).unwrap();
+        let l = tape.sum_all(y);
+        tape.backward(l).unwrap();
+        // dβ = Σ grad = 2; dγ = Σ xhat ≈ 0 (normalized input sums to 0)
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[2.0]);
+        assert!(tape.grad(g).unwrap().item().abs() < 1e-4);
+    }
+
+    #[test]
+    fn inference_mode_uses_fixed_stats() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![4.0], &[1, 1]).unwrap(), true);
+        let g = tape.leaf(Tensor::ones(&[1]), false);
+        let b = tape.leaf(Tensor::zeros(&[1]), false);
+        let mean = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        let var = Tensor::from_vec(vec![3.9999900], &[1]).unwrap();
+        let y = tape
+            .batch_norm_inference(x, g, b, &mean, &var, 1e-5)
+            .unwrap();
+        assert!((tape.value(y).item() - 1.0).abs() < 1e-4);
+        tape.backward(y).unwrap();
+        assert!((tape.grad(x).unwrap().item() - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_bad_param_shapes() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::zeros(&[2, 3]), false);
+        let g = tape.leaf(Tensor::ones(&[2]), false);
+        let b = tape.leaf(Tensor::zeros(&[3]), false);
+        assert!(tape.batch_norm(x, g, b, 1e-5).is_err());
+        let scalar = tape.leaf(Tensor::scalar(0.0), false);
+        assert!(tape.batch_norm(scalar, g, b, 1e-5).is_err());
+    }
+}

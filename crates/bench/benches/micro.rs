@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the performance-critical kernels:
+//! matmul, im2col/conv lowering, VGG forward, bit encoding, and the
+//! device-level crossbar MVM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use membit_autograd::Tape;
+use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
+use membit_nn::{NoNoise, Params, Phase, Vgg, VggConfig};
+use membit_tensor::{im2col, Conv2dGeometry, MatmulOptions, Rng, Tensor};
+use membit_xbar::{CrossbarLinear, DeviceModel, NoiseSpec, Tile, XbarConfig};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::from_fn(&[n, n], |i| (i % 17) as f32 - 8.0);
+        let b = Tensor::from_fn(&[n, n], |i| (i % 13) as f32 - 6.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul_with(&b, MatmulOptions::serial()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let x = Tensor::from_fn(&[8, 32, 16, 16], |i| (i % 9) as f32 / 4.0 - 1.0);
+    let geom = Conv2dGeometry::new(32, 16, 16, 3, 3, 1, 1).unwrap();
+    c.bench_function("im2col 8x32x16x16 k3", |b| {
+        b.iter(|| im2col(&x, &geom).unwrap())
+    });
+}
+
+fn bench_vgg_forward(c: &mut Criterion) {
+    let mut rng = Rng::from_seed(0);
+    let mut params = Params::new();
+    let mut vgg = Vgg::new(&VggConfig::small(), &mut params, &mut rng).unwrap();
+    let images = Tensor::from_fn(&[8, 3, 16, 16], |i| (i % 9) as f32 / 4.0 - 1.0);
+    c.bench_function("vgg9-small forward batch8", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut binding = params.frozen_binding();
+            let x = tape.constant(images.clone());
+            vgg.forward(&mut tape, &params, &mut binding, x, Phase::Eval, &mut NoNoise)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let x = Tensor::from_fn(&[64, 144], |i| ((i % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0));
+    let thermo = Thermometer::new(8).unwrap();
+    let slicing = BitSlicing::new(3).unwrap();
+    c.bench_function("thermometer encode 64x144 p8", |b| {
+        b.iter(|| thermo.encode_tensor(&x).unwrap())
+    });
+    c.bench_function("bit-slicing encode 64x144 b3", |b| {
+        b.iter(|| slicing.encode_tensor(&x).unwrap())
+    });
+}
+
+fn bench_xbar(c: &mut Criterion) {
+    let mut rng = Rng::from_seed(1);
+    let w = Tensor::from_fn(&[64, 128], |i| if i % 3 == 0 { 1.0 } else { -1.0 });
+    let tile = Tile::program(&w.transpose().unwrap(), &DeviceModel::ideal(), &mut rng).unwrap();
+    let x: Vec<f32> = (0..128).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let mut out = vec![0.0f32; 64];
+    c.bench_function("tile mvm 128x64", |b| {
+        b.iter(|| {
+            tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+            out[0]
+        })
+    });
+
+    let engine = CrossbarLinear::program(&w, &XbarConfig::functional(2.0), &mut rng).unwrap();
+    let input = Tensor::from_fn(&[4, 128], |i| ((i % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0));
+    let train = Thermometer::new(8).unwrap().encode_tensor(&input).unwrap();
+    c.bench_function("crossbar execute 4x128->64 p8", |b| {
+        b.iter(|| engine.execute(&train, &mut rng).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_im2col, bench_vgg_forward, bench_encoding, bench_xbar
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation A: sweep of the latency/accuracy trade-off weight γ (Eq. 6).
+//!
+//! The paper states that different γ produce different latency budgets
+//! ("we can obtain different bit encoding solution based on trade-off
+//! parameter γ"); this sweep makes the trade-off curve explicit and is
+//! how the γ defaults of `table1`/`table2` were picked.
+
+use membit_bench::{gbo_epochs, results_dir, Cli};
+use membit_core::{write_csv, GboConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
+    let mut exp = membit_bench::setup_experiment(&cli);
+
+    let gammas = [0.0f32, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2];
+    println!("γ sweep at σ = {sigma}");
+    println!(
+        "{:>9} {:>10} {:<26} {:>8}",
+        "γ", "avg pulses", "# pulses per layer", "Acc %"
+    );
+    let mut rows = Vec::new();
+    let mut prev_pulses = f32::INFINITY;
+    let mut monotone = true;
+    for &gamma in &gammas {
+        let mut cfg = GboConfig::paper(gamma, cli.seed);
+        cfg.epochs = gbo_epochs(cli.scale);
+        let result = exp.run_gbo(sigma, cfg).expect("gbo search");
+        let acc = exp
+            .eval_pla(sigma, &result.selected_pulses)
+            .expect("eval");
+        println!(
+            "{:>9} {:>10.2} {:<26} {:>8.2}",
+            gamma,
+            result.avg_pulses(),
+            format!("{:?}", result.selected_pulses),
+            acc
+        );
+        if result.avg_pulses() > prev_pulses + 2.0 {
+            monotone = false;
+        }
+        prev_pulses = result.avg_pulses();
+        rows.push(vec![
+            format!("{gamma}"),
+            format!("{:.2}", result.avg_pulses()),
+            format!("{:?}", result.selected_pulses),
+            format!("{acc:.2}"),
+        ]);
+    }
+    println!();
+    println!("larger γ buys shorter codes (roughly monotone): {monotone}");
+
+    let path = results_dir().join("ablation_gamma.csv");
+    write_csv(
+        &path,
+        &["gamma", "avg_pulses", "pulses", "accuracy_pct"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("# wrote {}", path.display());
+}

@@ -1,0 +1,125 @@
+//! Fig. 1(b): normalized accumulated noise variance vs. information bits
+//! for bit slicing vs. thermometer coding — closed form (Eqs. 2–3) plus a
+//! Monte-Carlo validation on the device-level crossbar simulator.
+
+use membit_bench::{results_dir, Cli};
+use membit_core::write_csv;
+use membit_encoding::variance::fig1b_series;
+use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
+use membit_tensor::{Rng, RngStream, Tensor};
+use membit_xbar::{CrossbarLinear, XbarConfig};
+
+/// Empirical output variance of an encoder on a noisy crossbar.
+fn monte_carlo_variance(encoder: &dyn Encoder, sigma: f32, trials: usize, rng: &mut Rng) -> f64 {
+    let w = Tensor::ones(&[1, 4]);
+    let xbar = CrossbarLinear::program(&w, &XbarConfig::functional(sigma), rng)
+        .expect("program 1x4 crossbar");
+    let x = Tensor::zeros(&[1, 4]);
+    let train = encoder.encode(&x);
+    let clean: f32 = train
+        .decode()
+        .expect("decode")
+        .matmul(&w.transpose().expect("transpose"))
+        .expect("matmul")
+        .at(0);
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..trials {
+        let y = f64::from(xbar.execute(&train, rng).expect("execute").at(0) - clean);
+        sum += y;
+        sum_sq += y * y;
+    }
+    let mean = sum / trials as f64;
+    sum_sq / trials as f64 - mean * mean
+}
+
+/// Object-safe encoding shim over the two schemes.
+trait Encoder {
+    fn encode(&self, x: &Tensor) -> membit_encoding::PulseTrain;
+}
+impl Encoder for Thermometer {
+    fn encode(&self, x: &Tensor) -> membit_encoding::PulseTrain {
+        self.encode_tensor(x).expect("encode")
+    }
+}
+impl Encoder for BitSlicing {
+    fn encode(&self, x: &Tensor) -> membit_encoding::PulseTrain {
+        self.encode_tensor(x).expect("encode")
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let max_bits = 8usize;
+    let mc_trials = match cli.scale {
+        membit_bench::Scale::Quick => 2000,
+        membit_bench::Scale::Full => 10000,
+    };
+    let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Noise);
+
+    println!("Fig. 1(b) — normalized noise variance vs. information bits (σ² = 1)");
+    println!(
+        "{:>4} | {:>9} {:>12} | {:>9} {:>12} | {:>10} {:>10}",
+        "bits", "BS pulses", "BS var", "TC pulses", "TC var", "BS MC", "TC MC"
+    );
+    let mut rows = Vec::new();
+    for row in fig1b_series(max_bits) {
+        // Monte-Carlo only where pulse counts stay reasonable
+        let (bs_mc, tc_mc) = if row.bits <= 5 {
+            let bs = BitSlicing::new(row.bs_pulses).expect("bits in range");
+            let tc = Thermometer::new(row.tc_pulses).expect("pulses > 0");
+            (
+                monte_carlo_variance(&bs, 1.0, mc_trials, &mut rng),
+                monte_carlo_variance(&tc, 1.0, mc_trials, &mut rng),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        println!(
+            "{:>4} | {:>9} {:>12.5} | {:>9} {:>12.5} | {:>10.5} {:>10.5}",
+            row.bits, row.bs_pulses, row.bs_variance, row.tc_pulses, row.tc_variance, bs_mc, tc_mc
+        );
+        rows.push(vec![
+            row.bits.to_string(),
+            row.bs_pulses.to_string(),
+            format!("{:.6}", row.bs_variance),
+            row.tc_pulses.to_string(),
+            format!("{:.6}", row.tc_variance),
+            format!("{bs_mc:.6}"),
+            format!("{tc_mc:.6}"),
+        ]);
+    }
+    // terminal rendition of the figure (log-y)
+    let series = fig1b_series(max_bits);
+    let xs: Vec<usize> = series.iter().map(|r| r.bits).collect();
+    let bs: Vec<f64> = series.iter().map(|r| r.bs_variance).collect();
+    let tc: Vec<f64> = series.iter().map(|r| r.tc_variance).collect();
+    println!();
+    println!("log-scale variance vs bits (B = bit slicing, T = thermometer):");
+    print!("{}", membit_bench::chart::dual_log_chart(&xs, &bs, 'B', &tc, 'T', 10));
+
+    println!();
+    println!("Paper's qualitative claims, checked:");
+    let series = fig1b_series(max_bits);
+    let tc_wins = series[1..].iter().all(|r| r.tc_variance < r.bs_variance);
+    let bs_floor = (series.last().expect("nonempty").bs_variance - 1.0 / 3.0).abs() < 0.01;
+    println!("  thermometer < bit slicing for ≥ 2 bits: {tc_wins}");
+    println!("  bit-slicing variance flattens near σ²/3: {bs_floor}");
+
+    let path = results_dir().join("fig1b.csv");
+    write_csv(
+        &path,
+        &[
+            "bits",
+            "bs_pulses",
+            "bs_variance",
+            "tc_pulses",
+            "tc_variance",
+            "bs_monte_carlo",
+            "tc_monte_carlo",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("# wrote {}", path.display());
+}

@@ -1,0 +1,115 @@
+//! Minimal ASCII charts for the figure binaries — the only "plotting"
+//! available in a terminal-only environment.
+
+/// Renders horizontal bars, one per `(label, value)`, scaled to
+/// `max_width` characters. Values must be non-negative; the scale is
+/// anchored at the maximum value.
+pub fn bar_chart(rows: &[(String, f64)], max_width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * max_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.4}\n",
+            "█".repeat(filled),
+            " ".repeat(max_width.saturating_sub(filled)),
+        ));
+    }
+    out
+}
+
+/// Renders two series on a shared log-y ASCII grid (used for the Fig. 1b
+/// variance curves). `a` and `b` must be positive and the same length as
+/// `xs`.
+pub fn dual_log_chart(
+    xs: &[usize],
+    a: &[f64],
+    a_mark: char,
+    b: &[f64],
+    b_mark: char,
+    height: usize,
+) -> String {
+    assert_eq!(xs.len(), a.len());
+    assert_eq!(xs.len(), b.len());
+    let all: Vec<f64> = a.iter().chain(b).copied().collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min).ln();
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max).ln();
+    let span = (hi - lo).max(1e-9);
+    let row_of = |v: f64| -> usize {
+        let frac = (v.ln() - lo) / span;
+        ((1.0 - frac) * (height - 1) as f64).round() as usize
+    };
+    let mut grid = vec![vec![' '; xs.len() * 4]; height];
+    for (i, (&va, &vb)) in a.iter().zip(b).enumerate() {
+        let col = i * 4 + 1;
+        grid[row_of(va)][col] = a_mark;
+        let rb = row_of(vb);
+        if grid[rb][col] == a_mark && (va - vb).abs() < 1e-12 {
+            grid[rb][col] = '*'; // overlap marker
+        } else {
+            grid[rb][col + 1] = b_mark;
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(xs.len() * 4));
+    out.push('\n');
+    out.push(' ');
+    for &x in xs {
+        out.push_str(&format!("{x:<4}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let chart = bar_chart(&rows, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('█').count() == 10);
+        assert!(lines[0].matches('█').count() == 5);
+        assert!(lines[0].starts_with("a  |"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_max() {
+        let rows = vec![("x".to_string(), 0.0)];
+        let chart = bar_chart(&rows, 8);
+        assert!(!chart.contains('█'));
+    }
+
+    #[test]
+    fn dual_log_chart_places_extremes() {
+        let xs = [1usize, 2, 3];
+        let a = [1.0, 0.5, 0.25];
+        let b = [1.0, 0.1, 0.01];
+        let chart = dual_log_chart(&xs, &a, 'o', &b, 'x', 8);
+        // both series start at the same top row; b ends at the bottom
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains('*') || lines[0].contains('o'));
+        assert!(lines[7].contains('x'));
+        assert!(chart.ends_with("1   2   3   \n"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dual_log_chart_length_mismatch_panics() {
+        dual_log_chart(&[1, 2], &[1.0], 'o', &[1.0, 2.0], 'x', 4);
+    }
+}

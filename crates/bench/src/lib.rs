@@ -1,0 +1,197 @@
+//! # membit-bench
+//!
+//! Shared plumbing for the benchmark binaries that regenerate every table
+//! and figure of the GBO paper (see `DESIGN.md` §4 for the experiment
+//! index). Each binary accepts:
+//!
+//! * `--scale quick|full` — `quick` (default) finishes within minutes
+//!   per binary on a single core and is the configuration of record in
+//!   `EXPERIMENTS.md`; `full` trains longer on more data for tighter
+//!   numbers when compute allows.
+//! * `--seed <u64>` — root seed (default 2022, the paper's year).
+//!
+//! Pre-trained weights are cached under `results/` so the expensive
+//! pre-training stage runs once per scale and is shared by all binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+
+use std::path::PathBuf;
+
+use membit_core::{Experiment, ExperimentConfig};
+
+/// Experiment scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced epochs/repeats: minutes per binary (the EXPERIMENTS.md
+    /// configuration of record).
+    Quick,
+    /// More epochs/data/repeats for machines with compute headroom.
+    Full,
+}
+
+impl Scale {
+    /// Short name used in file paths.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Command-line options shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Root seed.
+    pub seed: u64,
+    /// Remaining (binary-specific) arguments.
+    pub rest: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut scale = Scale::Quick;
+        let mut seed = 2022u64;
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().expect("--scale needs quick|full");
+                    scale = match v.as_str() {
+                        "quick" => Scale::Quick,
+                        "full" => Scale::Full,
+                        other => panic!("unknown scale {other:?}; use quick|full"),
+                    };
+                }
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        Self { scale, seed, rest }
+    }
+
+    /// Value of a `--name <f32>` option in the leftover args.
+    pub fn f32_opt(&self, name: &str) -> Option<f32> {
+        self.rest
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.rest.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+}
+
+/// Directory results/CSVs are written into.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("MEMBIT_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// The experiment configuration for a scale (with checkpoint caching
+/// under [`results_dir`]).
+pub fn experiment_config(scale: Scale, seed: u64) -> ExperimentConfig {
+    let mut cfg = match scale {
+        Scale::Quick => {
+            let mut c = ExperimentConfig::quick(12, seed);
+            c.data.train_per_class = 200;
+            c.data.test_per_class = 50;
+            c.eval_repeats = 2;
+            c
+        }
+        Scale::Full => {
+            let mut c = ExperimentConfig::quick(25, seed);
+            c.data.train_per_class = 300;
+            c.data.test_per_class = 100;
+            c.eval_repeats = 3;
+            c
+        }
+    };
+    cfg.checkpoint = Some(results_dir().join(format!(
+        "pretrained_{}_seed{}.ckpt",
+        scale.tag(),
+        seed
+    )));
+    cfg
+}
+
+/// Sets up (or loads) the shared pre-trained experiment, reporting timing.
+///
+/// # Panics
+///
+/// Panics on training/IO errors — bench binaries are user-facing tools
+/// where failing loudly is correct.
+pub fn setup_experiment(cli: &Cli) -> Experiment {
+    let cfg = experiment_config(cli.scale, cli.seed);
+    let cached = cfg
+        .checkpoint
+        .as_ref()
+        .map(|p| p.exists())
+        .unwrap_or(false);
+    if cached {
+        println!("# loading cached pre-trained model");
+    } else {
+        println!(
+            "# pre-training VGG9-BWNN ({} epochs, {} train images) — cached for later runs",
+            cfg.train.epochs,
+            cfg.data.train_per_class * cfg.data.num_classes
+        );
+    }
+    let t = std::time::Instant::now();
+    let exp = Experiment::setup(cfg).expect("experiment setup failed");
+    println!("# setup took {:.1}s", t.elapsed().as_secs_f32());
+    exp
+}
+
+/// The GBO search epochs appropriate for a scale.
+pub fn gbo_epochs(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3,
+        Scale::Full => 6,
+    }
+}
+
+/// The NIA fine-tuning epochs appropriate for a scale.
+pub fn nia_epochs(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3,
+        Scale::Full => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_tags() {
+        assert_eq!(Scale::Quick.tag(), "quick");
+        assert_eq!(Scale::Full.tag(), "full");
+    }
+
+    #[test]
+    fn config_scales_differ() {
+        let q = experiment_config(Scale::Quick, 1);
+        let f = experiment_config(Scale::Full, 1);
+        assert!(f.train.epochs > q.train.epochs);
+        assert!(f.data.train_per_class > q.data.train_per_class);
+        assert_ne!(q.checkpoint, f.checkpoint);
+    }
+}

@@ -1,0 +1,471 @@
+//! Gradient-based Bit encoding Optimization (GBO) — paper §III-A.
+//!
+//! Weights are frozen; per crossbar layer `l` a logit vector `λ^l ∈ ℝ^m`
+//! over the pulse-scaling set `Ω` is the only trainable state. Each
+//! forward pass mixes, per layer, `m` independent noise samples with
+//! variances `σ_l²/(n_k·p)` weighted by `α^l = softmax(λ^l)` (Eq. 5); the
+//! loss is cross-entropy plus the latency regularizer
+//! `γ·Σ_l Σ_k α_k^l·n_k^l·p` (Eq. 6). At the end, each layer deploys the
+//! encoding with the largest logit (Eq. after 7).
+
+use membit_autograd::{Tape, VarId};
+use membit_data::Dataset;
+use membit_nn::{Adam, MvmNoiseHook, Optimizer, ParamId, Params, Phase};
+use membit_tensor::{Rng, RngStream, Tensor, TensorError};
+
+use crate::calibrate::NoiseCalibration;
+use crate::model::CrossbarModel;
+use crate::Result;
+
+/// Hyperparameters of the GBO search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GboConfig {
+    /// Pulse scaling set Ω (paper: `[0.5, 0.75, 1, 1.25, 1.5, 1.75, 2]`).
+    pub omega: Vec<f32>,
+    /// Base thermometer pulse count `p` (paper: 8).
+    pub base_pulses: usize,
+    /// Latency/accuracy trade-off weight γ of Eq. 6.
+    pub gamma: f32,
+    /// Search epochs (paper: 10).
+    pub epochs: usize,
+    /// Adam learning rate for λ (paper: 1e-4; at this simulator's scale a
+    /// larger default converges within the short search budget).
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Root RNG seed for noise sampling and shuffling.
+    pub seed: u64,
+    /// **Extension beyond the paper**: when set to the per-layer
+    /// effective fan-ins (e.g. [`membit_nn::Vgg::crossbar_fan_ins`]), the
+    /// per-branch mixture variance becomes
+    /// `σ_l²/(n_k·p) + fan_in_l·MSE(q_k)` where `MSE(q)` is the PLA
+    /// representation error of a `q`-pulse code over the activation
+    /// grid — letting the search *see* that non-exact pulse budgets trade
+    /// noise suppression against approximation error. `None` reproduces
+    /// the paper's Eq. 5 exactly.
+    pub snap_error_fan_in: Option<Vec<f32>>,
+}
+
+impl GboConfig {
+    /// The paper's search space: Ω as above, `p = 8` ⇒ pulse lengths
+    /// `{4, 6, 8, 10, 12, 14, 16}`.
+    pub fn paper(gamma: f32, seed: u64) -> Self {
+        Self {
+            omega: vec![0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0],
+            base_pulses: 8,
+            gamma,
+            epochs: 10,
+            lr: 0.05,
+            batch_size: 50,
+            seed,
+            snap_error_fan_in: None,
+        }
+    }
+
+    /// The pulse length each Ω entry deploys: `round(n_k·p)`.
+    pub fn pulse_lengths(&self) -> Vec<usize> {
+        self.omega
+            .iter()
+            .map(|&n| (n * self.base_pulses as f32).round().max(1.0) as usize)
+            .collect()
+    }
+
+    fn validate(&self, layers: usize) -> Result<()> {
+        if self.omega.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "Ω must contain at least one scaling factor".into(),
+            ));
+        }
+        if self.omega.iter().any(|&n| n <= 0.0) {
+            return Err(TensorError::InvalidArgument(
+                "Ω entries must be positive".into(),
+            ));
+        }
+        if self.base_pulses == 0 || self.epochs == 0 || self.batch_size == 0 || layers == 0 {
+            return Err(TensorError::InvalidArgument(
+                "base_pulses, epochs, batch_size and layer count must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a GBO search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GboResult {
+    /// Final logits, one `[m]` vector per layer.
+    pub lambdas: Vec<Vec<f32>>,
+    /// Per-layer selected pulse scaling factor `n_optimal`.
+    pub selected_scale: Vec<f32>,
+    /// Per-layer deployed pulse count `round(n·p)` — the paper's
+    /// "# pulses in each layer" column.
+    pub selected_pulses: Vec<usize>,
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl GboResult {
+    /// Average deployed pulse count (the paper's "Avg.# pulses").
+    pub fn avg_pulses(&self) -> f32 {
+        self.selected_pulses.iter().sum::<usize>() as f32
+            / self.selected_pulses.len().max(1) as f32
+    }
+}
+
+/// The live hook used during search: binds λ, computes α, and applies the
+/// Eq. 5 noise mixture at every crossbar layer.
+struct GboSearchHook<'a> {
+    lambda_store: &'a Params,
+    lambda_ids: &'a [ParamId],
+    binding: &'a mut membit_nn::Binding,
+    sigma_abs: &'a [f32],
+    omega: &'a [f32],
+    base_pulses: usize,
+    /// Per-layer, per-branch additive variance from PLA representation
+    /// error (all zeros when the snap-error extension is disabled).
+    snap_var: &'a [Vec<f32>],
+    rng: &'a mut Rng,
+    alpha_vars: Vec<Option<VarId>>,
+}
+
+impl MvmNoiseHook for GboSearchHook<'_> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+        let lam = self
+            .lambda_store
+            .bind(tape, self.binding, self.lambda_ids[layer]);
+        let alpha = tape.softmax1d(lam)?;
+        self.alpha_vars[layer] = Some(alpha);
+        let shape = tape.value(mvm_out).shape().to_vec();
+        let eps: Vec<Tensor> = self
+            .omega
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| {
+                let s = self.sigma_abs[layer];
+                let var = s * s / (n * self.base_pulses as f32) + self.snap_var[layer][k];
+                self.rng.normal_tensor(&shape, 0.0, var.sqrt())
+            })
+            .collect();
+        tape.mix_noise(mvm_out, alpha, eps)
+    }
+}
+
+/// Runs GBO searches against a frozen pre-trained model.
+#[derive(Debug)]
+pub struct GboTrainer {
+    config: GboConfig,
+    lambda_store: Params,
+    lambda_ids: Vec<ParamId>,
+}
+
+impl GboTrainer {
+    /// Creates a trainer with zero-initialized λ for `layers` crossbar
+    /// layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(layers: usize, config: GboConfig) -> Result<Self> {
+        config.validate(layers)?;
+        let m = config.omega.len();
+        let mut lambda_store = Params::new();
+        let lambda_ids = (0..layers)
+            .map(|l| lambda_store.register(format!("lambda{l}"), Tensor::zeros(&[m])))
+            .collect();
+        Ok(Self {
+            config,
+            lambda_store,
+            lambda_ids,
+        })
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &GboConfig {
+        &self.config
+    }
+
+    /// Current λ values (one vector per layer).
+    pub fn lambdas(&self) -> Vec<Vec<f32>> {
+        self.lambda_ids
+            .iter()
+            .map(|&id| self.lambda_store.get(id).as_slice().to_vec())
+            .collect()
+    }
+
+    /// Runs the search: `epochs` passes over `train` updating only λ with
+    /// Adam, weights (and batch-norm statistics) frozen.
+    ///
+    /// `calibration` supplies the per-layer absolute noise for
+    /// `paper_sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tape/shape errors and calibration/layer-count
+    /// mismatches.
+    pub fn search(
+        &mut self,
+        model: &mut dyn CrossbarModel,
+        params: &Params,
+        train: &Dataset,
+        calibration: &NoiseCalibration,
+        paper_sigma: f32,
+    ) -> Result<GboResult> {
+        let layers = self.lambda_ids.len();
+        if model.crossbar_layers() != layers || calibration.layers() != layers {
+            return Err(TensorError::InvalidArgument(format!(
+                "layer count mismatch: trainer {layers}, model {}, calibration {}",
+                model.crossbar_layers(),
+                calibration.layers()
+            )));
+        }
+        let sigma_abs = calibration.sigma_abs(paper_sigma);
+        let snap_var = self.snap_variances()?;
+        let costs: Vec<f32> = self
+            .config
+            .omega
+            .iter()
+            .map(|&n| n * self.config.base_pulses as f32)
+            .collect();
+        let cost_tensor = Tensor::from_vec(costs, &[self.config.omega.len()])?;
+        let mut opt = Adam::new(self.config.lr);
+        let root = Rng::from_seed(self.config.seed);
+        let mut shuffle_rng = root.stream(RngStream::Data);
+        let mut noise_rng = root.stream(RngStream::Noise);
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for _epoch in 0..self.config.epochs {
+            let shuffled = train.shuffled(&mut shuffle_rng);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for (images, labels) in shuffled.batches(self.config.batch_size) {
+                let mut tape = Tape::new();
+                let mut weight_binding = params.frozen_binding();
+                let mut lambda_binding = self.lambda_store.binding();
+                let x = tape.constant(images);
+                // The hook borrows the λ store and binding for the
+                // duration of the forward + loss construction.
+                {
+                    let mut hook = GboSearchHook {
+                        lambda_store: &self.lambda_store,
+                        lambda_ids: &self.lambda_ids,
+                        binding: &mut lambda_binding,
+                        sigma_abs: &sigma_abs,
+                        omega: &self.config.omega,
+                        base_pulses: self.config.base_pulses,
+                        snap_var: &snap_var,
+                        rng: &mut noise_rng,
+                        alpha_vars: vec![None; layers],
+                    };
+                    let logits = model.forward(
+                        &mut tape,
+                        params,
+                        &mut weight_binding,
+                        x,
+                        Phase::Eval,
+                        &mut hook,
+                    )?;
+                    // latency term: γ · Σ_l ⟨α^l, n·p⟩
+                    let mut latency: Option<VarId> = None;
+                    for alpha in hook.alpha_vars.iter().flatten() {
+                        let term = tape.dot_const(*alpha, &cost_tensor)?;
+                        latency = Some(match latency {
+                            Some(acc) => tape.add(acc, term)?,
+                            None => term,
+                        });
+                    }
+                    let ce = tape.softmax_cross_entropy(logits, &labels)?;
+                    let loss = match latency {
+                        Some(lat) => {
+                            let weighted = tape.mul_scalar(lat, self.config.gamma);
+                            tape.add(ce, weighted)?
+                        }
+                        None => ce,
+                    };
+                    loss_sum += f64::from(tape.value(loss).item());
+                    batches += 1;
+                    tape.backward(loss)?;
+                }
+                opt.step(&mut self.lambda_store, &tape, &lambda_binding)?;
+            }
+            epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+        }
+        Ok(self.result(epoch_losses))
+    }
+
+    /// Per-layer, per-branch additive variance from the PLA
+    /// representation error (zeros unless the snap-error extension is
+    /// configured).
+    fn snap_variances(&self) -> Result<Vec<Vec<f32>>> {
+        let layers = self.lambda_ids.len();
+        let m = self.config.omega.len();
+        let Some(fan_ins) = &self.config.snap_error_fan_in else {
+            return Ok(vec![vec![0.0; m]; layers]);
+        };
+        if fan_ins.len() != layers {
+            return Err(TensorError::InvalidArgument(format!(
+                "snap_error_fan_in covers {} layers, trainer has {layers}",
+                fan_ins.len()
+            )));
+        }
+        let levels = self.config.base_pulses + 1;
+        let mut per_branch_mse = Vec::with_capacity(m);
+        for &n in &self.config.omega {
+            let q = (n * self.config.base_pulses as f32).round().max(1.0) as usize;
+            let mse = if q % self.config.base_pulses == 0 {
+                0.0
+            } else {
+                let pla = membit_encoding::pla::PlaThermometer::new(levels, q)?;
+                let total: f32 = (0..levels)
+                    .map(|k| {
+                        let v = k as f32 / (levels - 1) as f32 * 2.0 - 1.0;
+                        (pla.approximate(v) - v).powi(2)
+                    })
+                    .sum();
+                total / levels as f32
+            };
+            per_branch_mse.push(mse);
+        }
+        Ok(fan_ins
+            .iter()
+            .map(|&f| per_branch_mse.iter().map(|&mse| f * mse).collect())
+            .collect())
+    }
+
+    /// Extracts the deployed configuration from the current λ.
+    fn result(&self, epoch_losses: Vec<f32>) -> GboResult {
+        let lambdas = self.lambdas();
+        let mut selected_scale = Vec::with_capacity(lambdas.len());
+        let mut selected_pulses = Vec::with_capacity(lambdas.len());
+        for lam in &lambdas {
+            let best = lam
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let n = self.config.omega[best];
+            selected_scale.push(n);
+            selected_pulses.push((n * self.config.base_pulses as f32).round().max(1.0) as usize);
+        }
+        GboResult {
+            lambdas,
+            selected_scale,
+            selected_pulses,
+            epoch_losses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate_noise;
+    use crate::trainer::{pretrain, TrainConfig};
+    use membit_data::{synth_cifar, SynthCifarConfig};
+    use membit_nn::{Mlp, MlpConfig, NoNoise};
+
+    #[test]
+    fn config_validation_and_pulse_lengths() {
+        let cfg = GboConfig::paper(0.001, 0);
+        assert_eq!(cfg.pulse_lengths(), vec![4, 6, 8, 10, 12, 14, 16]);
+        assert!(GboTrainer::new(0, cfg.clone()).is_err());
+        let mut bad = cfg.clone();
+        bad.omega.clear();
+        assert!(GboTrainer::new(2, bad).is_err());
+        let mut neg = cfg;
+        neg.omega[0] = -1.0;
+        assert!(GboTrainer::new(2, neg).is_err());
+    }
+
+    #[test]
+    fn huge_gamma_collapses_to_shortest_pulses() {
+        // With an enormous latency weight, the CE term is irrelevant and
+        // every layer must pick the cheapest encoding (n = 0.5 ⇒ 4 pulses).
+        let mut rng = Rng::from_seed(0);
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(
+            &MlpConfig::new(3 * 8 * 8, &[16, 12], 10),
+            &mut params,
+            &mut rng,
+        )
+        .unwrap();
+        let (train, _) = synth_cifar(&SynthCifarConfig::tiny(), 3).unwrap();
+        let cal = calibrate_noise(&mut mlp, &params, &train, 20, 2, 10.0).unwrap();
+        let mut cfg = GboConfig::paper(10.0, 1);
+        cfg.epochs = 4;
+        cfg.batch_size = 40;
+        cfg.lr = 0.2;
+        let mut trainer = GboTrainer::new(2, cfg).unwrap();
+        let result = trainer
+            .search(&mut mlp, &params, &train, &cal, 10.0)
+            .unwrap();
+        assert_eq!(result.selected_pulses, vec![4, 4], "{:?}", result.lambdas);
+        assert_eq!(result.avg_pulses(), 4.0);
+    }
+
+    #[test]
+    fn zero_gamma_under_heavy_noise_prefers_long_pulses() {
+        // With γ = 0 and strong noise, longer codes strictly reduce the CE
+        // loss, so λ should drift toward n = 2 (16 pulses).
+        let mut rng = Rng::from_seed(0);
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(
+            &MlpConfig::new(3 * 8 * 8, &[16], 10),
+            &mut params,
+            &mut rng,
+        )
+        .unwrap();
+        let (train, _) = synth_cifar(&SynthCifarConfig::tiny(), 3).unwrap();
+        // train briefly so the CE landscape is informative
+        let tc = TrainConfig {
+            epochs: 20,
+            batch_size: 20,
+            lr: 2e-2,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            augment_flip: false,
+            seed: 2,
+        };
+        pretrain(&mut mlp, &mut params, &train, &tc, &mut NoNoise).unwrap();
+        let cal = calibrate_noise(&mut mlp, &params, &train, 20, 2, 10.0).unwrap();
+        let mut cfg = GboConfig::paper(0.0, 1);
+        cfg.epochs = 6;
+        cfg.batch_size = 40;
+        cfg.lr = 0.2;
+        let mut trainer = GboTrainer::new(1, cfg).unwrap();
+        // very strong noise: paper σ of 30 ⇒ 3× the layer RMS
+        let result = trainer
+            .search(&mut mlp, &params, &train, &cal, 30.0)
+            .unwrap();
+        assert!(
+            result.selected_pulses[0] >= 10,
+            "selected {:?}, λ {:?}",
+            result.selected_pulses,
+            result.lambdas
+        );
+        // the cheapest (noisiest) encodings must rank below the selected one
+        let lam = &result.lambdas[0];
+        let max = lam.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(lam[0] < max && lam[1] < max, "λ {lam:?}");
+    }
+
+    #[test]
+    fn layer_count_mismatch_rejected() {
+        let mut rng = Rng::from_seed(0);
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(&MlpConfig::new(8, &[4], 2), &mut params, &mut rng).unwrap();
+        let cal = NoiseCalibration::new(vec![1.0, 1.0], 10.0).unwrap();
+        let (train, _) = synth_cifar(&SynthCifarConfig::tiny(), 0).unwrap();
+        let mut trainer = GboTrainer::new(3, GboConfig::paper(0.0, 0)).unwrap();
+        assert!(trainer
+            .search(&mut mlp, &params, &train, &cal, 10.0)
+            .is_err());
+    }
+
+    #[test]
+    fn lambdas_start_at_zero() {
+        let trainer = GboTrainer::new(2, GboConfig::paper(0.001, 0)).unwrap();
+        for lam in trainer.lambdas() {
+            assert_eq!(lam, vec![0.0; 7]);
+        }
+    }
+}

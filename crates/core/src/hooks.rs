@@ -1,0 +1,322 @@
+//! Concrete MVM noise hooks: the functional crossbar noise models of the
+//! paper's evaluation.
+
+use membit_autograd::{Tape, VarId};
+use membit_nn::MvmNoiseHook;
+use membit_tensor::{Rng, TensorError};
+
+use crate::Result;
+
+/// The paper's Eq. 1/Eq. 3 functional noise: after the MVM of crossbar
+/// layer `l`, adds `N(0, (σ_l/√p_l)²)` — per-pulse noise `σ_l` averaged
+/// over `p_l` thermometer pulses.
+///
+/// Used for the Baseline rows (uniform `p = 8`) and inside NIA training.
+#[derive(Debug)]
+pub struct GaussianMvmNoise {
+    sigma: Vec<f32>,
+    pulses: Vec<usize>,
+    rng: Rng,
+}
+
+impl GaussianMvmNoise {
+    /// Creates the hook from per-layer per-pulse noise `σ_l` and pulse
+    /// counts `p_l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on length mismatch or a
+    /// zero pulse count.
+    pub fn new(sigma: Vec<f32>, pulses: Vec<usize>, rng: Rng) -> Result<Self> {
+        if sigma.len() != pulses.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} sigmas but {} pulse counts",
+                sigma.len(),
+                pulses.len()
+            )));
+        }
+        if pulses.iter().any(|&p| p == 0) {
+            return Err(TensorError::InvalidArgument(
+                "pulse counts must be nonzero".into(),
+            ));
+        }
+        Ok(Self { sigma, pulses, rng })
+    }
+
+    /// Uniform-pulse constructor: the same `σ` and `p` for all `layers`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn uniform(layers: usize, sigma: f32, pulses: usize, rng: Rng) -> Result<Self> {
+        Self::new(vec![sigma; layers], vec![pulses; layers], rng)
+    }
+
+    fn std_for(&self, layer: usize) -> f32 {
+        self.sigma[layer] / (self.pulses[layer] as f32).sqrt()
+    }
+}
+
+impl MvmNoiseHook for GaussianMvmNoise {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+        let std = self.std_for(layer);
+        if std == 0.0 {
+            return Ok(mvm_out);
+        }
+        let shape = tape.value(mvm_out).shape().to_vec();
+        let noise = self.rng.normal_tensor(&shape, 0.0, std);
+        let c = tape.constant(noise);
+        tape.add(mvm_out, c)
+    }
+}
+
+/// PLA evaluation hook (paper §III-B + Table I): crossbar layer `l` runs a
+/// `q_l`-pulse thermometer code, so
+///
+/// * its **input activations** are snapped onto the `q_l + 1` levels the
+///   code can represent (`encode`), and
+/// * its MVM output picks up `N(0, σ_l²/q_l)` accumulated noise (`apply`).
+///
+/// Uniform `q = 8` with 9-level activations reduces exactly to the
+/// Baseline (the snap is the identity). Per-layer `q_l` vectors express
+/// GBO's heterogeneous solutions.
+#[derive(Debug)]
+pub struct PlaHook {
+    pulses: Vec<usize>,
+    sigma: Vec<f32>,
+    act_levels: usize,
+    rng: Rng,
+}
+
+impl PlaHook {
+    /// Creates the hook from per-layer pulse counts, per-layer per-pulse
+    /// noise `σ_l`, and the network's activation level count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on length mismatches or
+    /// degenerate parameters.
+    pub fn new(pulses: Vec<usize>, sigma: Vec<f32>, act_levels: usize, rng: Rng) -> Result<Self> {
+        if sigma.len() != pulses.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} sigmas but {} pulse counts",
+                sigma.len(),
+                pulses.len()
+            )));
+        }
+        if pulses.iter().any(|&p| p == 0) || act_levels < 2 {
+            return Err(TensorError::InvalidArgument(
+                "pulse counts must be nonzero and act_levels ≥ 2".into(),
+            ));
+        }
+        Ok(Self {
+            pulses,
+            sigma,
+            act_levels,
+            rng,
+        })
+    }
+
+    /// Uniform-pulse constructor (`PLA_q` rows of Table I).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn uniform(
+        layers: usize,
+        pulses: usize,
+        sigma: f32,
+        act_levels: usize,
+        rng: Rng,
+    ) -> Result<Self> {
+        Self::new(vec![pulses; layers], vec![sigma; layers], act_levels, rng)
+    }
+
+    /// Average pulse count across layers.
+    pub fn avg_pulses(&self) -> f32 {
+        self.pulses.iter().sum::<usize>() as f32 / self.pulses.len().max(1) as f32
+    }
+}
+
+impl MvmNoiseHook for PlaHook {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+        let std = self.sigma[layer] / (self.pulses[layer] as f32).sqrt();
+        if std == 0.0 {
+            return Ok(mvm_out);
+        }
+        let shape = tape.value(mvm_out).shape().to_vec();
+        let noise = self.rng.normal_tensor(&shape, 0.0, std);
+        let c = tape.constant(noise);
+        tape.add(mvm_out, c)
+    }
+
+    fn encode(&mut self, tape: &mut Tape, layer: usize, input: VarId) -> Result<VarId> {
+        let q = self.pulses[layer];
+        if q == self.act_levels - 1 || q % (self.act_levels - 1) == 0 {
+            // exact representation (the base code or an integer-ensemble
+            // multiple of it) — no approximation error
+            return Ok(input);
+        }
+        // snap onto the q+1 levels a q-pulse thermometer code carries,
+        // with the paper's sign-directed (bias-free) tie-breaking
+        tape.pla_quantize_ste(input, self.act_levels, q)
+    }
+}
+
+/// Fig. 2 hook: injects `N(0, σ²)` at exactly one crossbar layer, leaving
+/// all others clean — the paper's layer-wise sensitivity probe.
+#[derive(Debug)]
+pub struct SingleLayerNoise {
+    target: usize,
+    sigma: f32,
+    rng: Rng,
+}
+
+impl SingleLayerNoise {
+    /// Creates the probe for crossbar layer `target`.
+    pub fn new(target: usize, sigma: f32, rng: Rng) -> Self {
+        Self { target, sigma, rng }
+    }
+}
+
+impl MvmNoiseHook for SingleLayerNoise {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+        if layer != self.target || self.sigma == 0.0 {
+            return Ok(mvm_out);
+        }
+        let shape = tape.value(mvm_out).shape().to_vec();
+        let noise = self.rng.normal_tensor(&shape, 0.0, self.sigma);
+        let c = tape.constant(noise);
+        tape.add(mvm_out, c)
+    }
+}
+
+/// Calibration hook: records the running RMS of every crossbar layer's
+/// clean MVM output. Drives [`calibrate_noise`](crate::calibrate_noise).
+#[derive(Debug, Clone)]
+pub struct RmsRecorder {
+    sum_sq: Vec<f64>,
+    count: Vec<u64>,
+}
+
+impl RmsRecorder {
+    /// Creates a recorder for `layers` crossbar layers.
+    pub fn new(layers: usize) -> Self {
+        Self {
+            sum_sq: vec![0.0; layers],
+            count: vec![0; layers],
+        }
+    }
+
+    /// RMS of each layer observed so far (0 for unobserved layers).
+    pub fn rms(&self) -> Vec<f32> {
+        self.sum_sq
+            .iter()
+            .zip(&self.count)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { (s / c as f64).sqrt() as f32 })
+            .collect()
+    }
+}
+
+impl MvmNoiseHook for RmsRecorder {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+        let v = tape.value(mvm_out);
+        self.sum_sq[layer] += v.as_slice().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
+        self.count[layer] += v.len() as u64;
+        Ok(mvm_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membit_tensor::Tensor;
+
+    fn setup(shape: &[usize]) -> (Tape, VarId) {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(shape));
+        (tape, x)
+    }
+
+    #[test]
+    fn gaussian_noise_scales_with_inverse_sqrt_pulses() {
+        let rng = Rng::from_seed(0);
+        let mut hook8 =
+            GaussianMvmNoise::uniform(1, 8.0, 8, rng.clone()).unwrap();
+        let mut hook32 = GaussianMvmNoise::uniform(1, 8.0, 32, rng).unwrap();
+        let (mut t1, x1) = setup(&[40_000]);
+        let y1 = hook8.apply(&mut t1, 0, x1).unwrap();
+        let (mut t2, x2) = setup(&[40_000]);
+        let y2 = hook32.apply(&mut t2, 0, x2).unwrap();
+        let s1 = t1.value(y1).std();
+        let s2 = t2.value(y2).std();
+        assert!((s1 - 8.0 / 8f32.sqrt()).abs() < 0.05, "s1 = {s1}");
+        assert!((s2 - 8.0 / 32f32.sqrt()).abs() < 0.05, "s2 = {s2}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let rng = Rng::from_seed(0);
+        let mut hook = GaussianMvmNoise::uniform(2, 0.0, 8, rng).unwrap();
+        let (mut t, x) = setup(&[4]);
+        assert_eq!(hook.apply(&mut t, 1, x).unwrap(), x);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        let rng = Rng::from_seed(0);
+        assert!(GaussianMvmNoise::new(vec![1.0], vec![8, 8], rng.clone()).is_err());
+        assert!(GaussianMvmNoise::new(vec![1.0], vec![0], rng.clone()).is_err());
+        assert!(PlaHook::new(vec![8], vec![1.0, 2.0], 9, rng.clone()).is_err());
+        assert!(PlaHook::new(vec![0], vec![1.0], 9, rng.clone()).is_err());
+        assert!(PlaHook::new(vec![8], vec![1.0], 1, rng).is_err());
+    }
+
+    #[test]
+    fn pla_baseline_encode_is_identity() {
+        let rng = Rng::from_seed(1);
+        let mut hook = PlaHook::uniform(1, 8, 1.0, 9, rng).unwrap();
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![0.25, -0.5], &[2]).unwrap());
+        let y = hook.encode(&mut tape, 0, x).unwrap();
+        assert_eq!(x, y); // q = act_levels − 1 ⇒ no snap node
+    }
+
+    #[test]
+    fn pla_snap_changes_representation() {
+        let rng = Rng::from_seed(1);
+        let mut hook = PlaHook::uniform(1, 10, 1.0, 9, rng).unwrap();
+        let mut tape = Tape::new();
+        // 9-level value 0.25 is not representable with 11 levels (step 0.2)
+        let x = tape.constant(Tensor::from_vec(vec![0.25], &[1]).unwrap());
+        let y = hook.encode(&mut tape, 0, x).unwrap();
+        let v = tape.value(y).item();
+        assert!((v - 0.2).abs() < 1e-6, "snapped to {v}");
+        assert_eq!(hook.avg_pulses(), 10.0);
+    }
+
+    #[test]
+    fn single_layer_noise_targets_one_layer() {
+        let rng = Rng::from_seed(2);
+        let mut hook = SingleLayerNoise::new(1, 5.0, rng);
+        let (mut t, x) = setup(&[100]);
+        assert_eq!(hook.apply(&mut t, 0, x).unwrap(), x); // untouched
+        let y = hook.apply(&mut t, 1, x).unwrap();
+        assert_ne!(y, x);
+        assert!(t.value(y).std() > 1.0);
+    }
+
+    #[test]
+    fn rms_recorder_measures_rms() {
+        let mut rec = RmsRecorder::new(2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![3.0, -4.0], &[2]).unwrap());
+        rec.apply(&mut tape, 0, x).unwrap();
+        let rms = rec.rms();
+        assert!((rms[0] - (12.5f32).sqrt()).abs() < 1e-5);
+        assert_eq!(rms[1], 0.0);
+        // second batch accumulates
+        rec.apply(&mut tape, 0, x).unwrap();
+        assert!((rec.rms()[0] - (12.5f32).sqrt()).abs() < 1e-5);
+    }
+}

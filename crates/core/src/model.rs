@@ -1,0 +1,123 @@
+//! The model abstraction the GBO machinery operates on.
+
+use membit_autograd::{Tape, VarId};
+use membit_nn::{Binding, Mlp, MvmNoiseHook, Params, Phase, ResNet, Vgg};
+
+use crate::Result;
+
+/// Any network whose crossbar-mapped layers expose MVM hook points.
+///
+/// Both the paper's [`Vgg`] and the test-scale [`Mlp`] implement this, so
+/// every experiment in this crate runs unchanged on either.
+pub trait CrossbarModel {
+    /// Runs the network, returning class logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tape/shape errors.
+    fn forward(
+        &mut self,
+        tape: &mut Tape,
+        params: &Params,
+        binding: &mut Binding,
+        x: VarId,
+        phase: Phase,
+        hook: &mut dyn MvmNoiseHook,
+    ) -> Result<VarId>;
+
+    /// Number of crossbar (hooked) layers.
+    fn crossbar_layers(&self) -> usize;
+}
+
+impl CrossbarModel for Vgg {
+    fn forward(
+        &mut self,
+        tape: &mut Tape,
+        params: &Params,
+        binding: &mut Binding,
+        x: VarId,
+        phase: Phase,
+        hook: &mut dyn MvmNoiseHook,
+    ) -> Result<VarId> {
+        Vgg::forward(self, tape, params, binding, x, phase, hook)
+    }
+
+    fn crossbar_layers(&self) -> usize {
+        Vgg::crossbar_layers(self)
+    }
+}
+
+impl CrossbarModel for ResNet {
+    fn forward(
+        &mut self,
+        tape: &mut Tape,
+        params: &Params,
+        binding: &mut Binding,
+        x: VarId,
+        phase: Phase,
+        hook: &mut dyn MvmNoiseHook,
+    ) -> Result<VarId> {
+        ResNet::forward(self, tape, params, binding, x, phase, hook)
+    }
+
+    fn crossbar_layers(&self) -> usize {
+        ResNet::crossbar_layers(self)
+    }
+}
+
+impl CrossbarModel for Mlp {
+    /// Rank-4 image batches (`[N, C, H, W]`) are flattened to `[N, C·H·W]`
+    /// automatically, so MLPs consume the same datasets as the VGG.
+    fn forward(
+        &mut self,
+        tape: &mut Tape,
+        params: &Params,
+        binding: &mut Binding,
+        x: VarId,
+        phase: Phase,
+        hook: &mut dyn MvmNoiseHook,
+    ) -> Result<VarId> {
+        let shape = tape.value(x).shape().to_vec();
+        let x = if shape.len() > 2 {
+            let n = shape[0];
+            let d: usize = shape[1..].iter().product();
+            tape.reshape(x, &[n, d])?
+        } else {
+            x
+        };
+        Mlp::forward(self, tape, params, binding, x, phase, hook)
+    }
+
+    fn crossbar_layers(&self) -> usize {
+        Mlp::crossbar_layers(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membit_nn::{MlpConfig, NoNoise, VggConfig};
+    use membit_tensor::{Rng, Tensor};
+
+    #[test]
+    fn trait_objects_work_for_both_models() {
+        let mut rng = Rng::from_seed(0);
+
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(&MlpConfig::new(4, &[6], 3), &mut params, &mut rng).unwrap();
+        let model: &mut dyn CrossbarModel = &mut mlp;
+        assert_eq!(model.crossbar_layers(), 1);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[2, 4]));
+        let mut binding = params.binding();
+        let y = model
+            .forward(&mut tape, &params, &mut binding, x, Phase::Eval, &mut NoNoise)
+            .unwrap();
+        assert_eq!(tape.value(y).shape(), &[2, 3]);
+
+        let mut vparams = Params::new();
+        let mut vgg = Vgg::new(&VggConfig::tiny(), &mut vparams, &mut rng).unwrap();
+        let vmodel: &mut dyn CrossbarModel = &mut vgg;
+        assert_eq!(vmodel.crossbar_layers(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Result rows and table/CSV rendering for the paper's tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One row of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Method label (`Baseline`, `PLA_10`, `GBO (~PLA10)`, ...).
+    pub method: String,
+    /// Paper-σ noise level.
+    pub sigma: f32,
+    /// Per-layer pulse counts.
+    pub pulses: Vec<usize>,
+    /// Average pulse count.
+    pub avg_pulses: f32,
+    /// Classification accuracy in percent.
+    pub accuracy: f32,
+}
+
+impl Table1Row {
+    /// Formats the per-layer pulse list like the paper: `[8, 8, …]`.
+    pub fn pulses_string(&self) -> String {
+        let items: Vec<String> = self.pulses.iter().map(ToString::to_string).collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+/// One row of the Table II reproduction (accuracy / avg pulses at each σ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Method label (`Baseline`, `NIA`, `GBO`, `NIA + GBO`, `NIA + PLA`).
+    pub method: String,
+    /// `(accuracy %, avg pulses)` per σ column.
+    pub cells: Vec<(f32, f32)>,
+}
+
+/// Renders rows as a GitHub-flavored markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, quoted only when needed) under
+/// `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        header.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_formats_pulses() {
+        let row = Table1Row {
+            method: "Baseline".into(),
+            sigma: 10.0,
+            pulses: vec![8; 3],
+            avg_pulses: 8.0,
+            accuracy: 83.94,
+        };
+        assert_eq!(row.pulses_string(), "[8, 8, 8]");
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "| a | b |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[3], "| 3 | 4 |");
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quoting() {
+        let path = std::env::temp_dir().join(format!(
+            "membit-report-test-{}.csv",
+            std::process::id()
+        ));
+        write_csv(
+            &path,
+            &["x", "list"],
+            &[vec!["1".into(), "[8, 8]".into()]],
+        )
+        .unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::remove_file(&path).ok();
+        assert_eq!(text, "x,list\n1,\"[8, 8]\"\n");
+    }
+}

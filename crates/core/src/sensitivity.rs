@@ -1,0 +1,105 @@
+//! Layer-wise noise sensitivity analysis (paper Fig. 2).
+
+use membit_data::Dataset;
+use membit_nn::Params;
+use membit_tensor::{Rng, RngStream};
+
+use crate::hooks::SingleLayerNoise;
+use crate::model::CrossbarModel;
+use crate::trainer::evaluate_with_hook;
+use crate::Result;
+
+/// For each crossbar layer, evaluates accuracy with Gaussian noise
+/// `N(0, σ_l²)` injected at *that layer only* (σ_l given per layer,
+/// typically `calibration.sigma_abs(σ)`), averaged over `repeats` noise
+/// seeds.
+///
+/// Returns one accuracy per layer — the paper's Fig. 2 series.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn layer_sensitivity(
+    model: &mut dyn CrossbarModel,
+    params: &Params,
+    data: &Dataset,
+    sigma_abs: &[f32],
+    batch_size: usize,
+    repeats: usize,
+    seed: u64,
+) -> Result<Vec<f32>> {
+    let layers = model.crossbar_layers().min(sigma_abs.len());
+    let mut out = Vec::with_capacity(layers);
+    for layer in 0..layers {
+        let mut acc_sum = 0.0f32;
+        for rep in 0..repeats.max(1) {
+            let rng = Rng::from_seed(seed ^ (rep as u64) << 32 | layer as u64)
+                .stream(RngStream::Noise);
+            let mut hook = SingleLayerNoise::new(layer, sigma_abs[layer], rng);
+            acc_sum += evaluate_with_hook(model, params, data, batch_size, &mut hook)?;
+        }
+        out.push(acc_sum / repeats.max(1) as f32);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate_noise;
+    use crate::trainer::{evaluate, pretrain, TrainConfig};
+    use membit_data::{synth_cifar, SynthCifarConfig};
+    use membit_nn::{Mlp, MlpConfig, NoNoise};
+
+    #[test]
+    fn noisy_layers_hurt_accuracy() {
+        let mut rng = Rng::from_seed(0);
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(
+            &MlpConfig::new(3 * 8 * 8, &[24, 16], 10),
+            &mut params,
+            &mut rng,
+        )
+        .unwrap();
+        let (train, test) = synth_cifar(&SynthCifarConfig::tiny(), 13).unwrap();
+        let tc = TrainConfig {
+            epochs: 25,
+            batch_size: 20,
+            lr: 2e-2,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            augment_flip: false,
+            seed: 3,
+        };
+        pretrain(&mut mlp, &mut params, &train, &tc, &mut NoNoise).unwrap();
+        let clean = evaluate(&mut mlp, &params, &test, 20).unwrap();
+        let cal = calibrate_noise(&mut mlp, &params, &train, 20, 2, 10.0).unwrap();
+        // massive single-layer noise: 5× the layer RMS
+        let sigma_abs = cal.sigma_abs(50.0);
+        let series =
+            layer_sensitivity(&mut mlp, &params, &test, &sigma_abs, 20, 2, 7).unwrap();
+        assert_eq!(series.len(), 2);
+        for (l, &acc) in series.iter().enumerate() {
+            assert!(
+                acc < clean,
+                "layer {l}: noisy acc {acc} should fall below clean {clean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_noise_recovers_clean_accuracy() {
+        let mut rng = Rng::from_seed(0);
+        let mut params = Params::new();
+        let mut mlp = Mlp::new(
+            &MlpConfig::new(3 * 8 * 8, &[16], 10),
+            &mut params,
+            &mut rng,
+        )
+        .unwrap();
+        let (_, test) = synth_cifar(&SynthCifarConfig::tiny(), 13).unwrap();
+        let clean = evaluate(&mut mlp, &params, &test, 20).unwrap();
+        let series = layer_sensitivity(&mut mlp, &params, &test, &[0.0], 20, 1, 7).unwrap();
+        assert_eq!(series, vec![clean]);
+    }
+}

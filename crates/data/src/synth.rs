@@ -1,0 +1,298 @@
+//! SynthCIFAR: the procedural CIFAR-10 stand-in.
+//!
+//! Each class owns a smooth random prototype image (a sum of random 2-D
+//! cosine waves per channel). A sample is its class prototype after a
+//! random circular shift, optional horizontal flip, contrast jitter and
+//! i.i.d. pixel noise — difficult enough that a VGG9-BWNN lands in the
+//! low-90 % range, mirroring the paper's clean CIFAR-10 accuracy, while
+//! generating in milliseconds with full determinism.
+
+use membit_tensor::{Rng, RngStream, Tensor, TensorError};
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// Generation parameters for [`synth_cifar`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthCifarConfig {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Number of cosine waves per channel in each prototype.
+    pub waves: usize,
+    /// Std-dev of additive pixel noise.
+    pub pixel_noise: f32,
+    /// Maximum circular shift (pixels) in each axis.
+    pub max_shift: usize,
+    /// Whether to apply random horizontal flips.
+    pub flip: bool,
+    /// Multiplicative contrast jitter half-range (0.2 ⇒ ×[0.8, 1.2]).
+    pub contrast_jitter: f32,
+}
+
+impl SynthCifarConfig {
+    /// Default experiment configuration: 10 classes of 3×16×16 images,
+    /// 400 train / 100 test per class.
+    pub fn default_experiment() -> Self {
+        Self {
+            num_classes: 10,
+            train_per_class: 400,
+            test_per_class: 100,
+            channels: 3,
+            height: 16,
+            width: 16,
+            waves: 4,
+            pixel_noise: 0.35,
+            max_shift: 2,
+            flip: false,
+            contrast_jitter: 0.2,
+        }
+    }
+
+    /// A miniature configuration for unit tests (4 classes, 8×8, tens of
+    /// samples).
+    pub fn tiny() -> Self {
+        Self {
+            num_classes: 10,
+            train_per_class: 12,
+            test_per_class: 4,
+            channels: 3,
+            height: 8,
+            width: 8,
+            waves: 3,
+            pixel_noise: 0.25,
+            max_shift: 1,
+            flip: false,
+            contrast_jitter: 0.1,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_classes == 0
+            || self.channels == 0
+            || self.height == 0
+            || self.width == 0
+            || self.waves == 0
+        {
+            return Err(TensorError::InvalidArgument(
+                "all SynthCifar dimensions must be nonzero".into(),
+            ));
+        }
+        if self.pixel_noise < 0.0 || self.contrast_jitter < 0.0 {
+            return Err(TensorError::InvalidArgument(
+                "noise parameters must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn pixels(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+/// One smooth prototype image in `[-1, 1]`.
+fn prototype(cfg: &SynthCifarConfig, rng: &mut Rng) -> Vec<f32> {
+    let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+    let mut img = vec![0.0f32; cfg.pixels()];
+    for ci in 0..c {
+        for _ in 0..cfg.waves {
+            let fy = rng.uniform(0.5, 3.0);
+            let fx = rng.uniform(0.5, 3.0);
+            let phase = rng.uniform(0.0, std::f32::consts::TAU);
+            let amp = rng.uniform(0.4, 1.0);
+            for y in 0..h {
+                for x in 0..w {
+                    let arg = std::f32::consts::TAU
+                        * (fy * y as f32 / h as f32 + fx * x as f32 / w as f32)
+                        + phase;
+                    img[(ci * h + y) * w + x] += amp * arg.cos();
+                }
+            }
+        }
+    }
+    // normalize each image to roughly unit range
+    let max_abs = img.iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+    for v in &mut img {
+        *v /= max_abs;
+    }
+    img
+}
+
+/// Renders one sample from its class prototype.
+fn sample(cfg: &SynthCifarConfig, proto: &[f32], rng: &mut Rng) -> Vec<f32> {
+    let (c, h, w) = (cfg.channels, cfg.height, cfg.width);
+    let dy = if cfg.max_shift > 0 {
+        rng.below(2 * cfg.max_shift + 1) as isize - cfg.max_shift as isize
+    } else {
+        0
+    };
+    let dx = if cfg.max_shift > 0 {
+        rng.below(2 * cfg.max_shift + 1) as isize - cfg.max_shift as isize
+    } else {
+        0
+    };
+    let flip = cfg.flip && rng.coin(0.5);
+    let contrast = 1.0 + rng.uniform(-cfg.contrast_jitter, cfg.contrast_jitter);
+    let mut out = vec![0.0f32; cfg.pixels()];
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = (y as isize - dy).rem_euclid(h as isize) as usize;
+                let mut sx = (x as isize - dx).rem_euclid(w as isize) as usize;
+                if flip {
+                    sx = w - 1 - sx;
+                }
+                let v = proto[(ci * h + sy) * w + sx] * contrast
+                    + if cfg.pixel_noise > 0.0 {
+                        rng.normal(0.0, cfg.pixel_noise)
+                    } else {
+                        0.0
+                    };
+                out[(ci * h + y) * w + x] = v.clamp(-1.0, 1.0);
+            }
+        }
+    }
+    out
+}
+
+fn build_split(
+    cfg: &SynthCifarConfig,
+    protos: &[Vec<f32>],
+    per_class: usize,
+    rng: &mut Rng,
+) -> Result<Dataset> {
+    let n = cfg.num_classes * per_class;
+    let mut data = Vec::with_capacity(n * cfg.pixels());
+    let mut labels = Vec::with_capacity(n);
+    for class in 0..cfg.num_classes {
+        for _ in 0..per_class {
+            data.extend(sample(cfg, &protos[class], rng));
+            labels.push(class);
+        }
+    }
+    let images = Tensor::from_vec(data, &[n, cfg.channels, cfg.height, cfg.width])?;
+    let mut dataset = Dataset::new(images, labels, cfg.num_classes)?;
+    dataset = dataset.shuffled(rng);
+    Ok(dataset)
+}
+
+/// Generates `(train, test)` splits deterministically from `seed`.
+///
+/// Both splits share class prototypes but draw disjoint sample noise, so
+/// generalization is meaningful.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for degenerate configurations.
+pub fn synth_cifar(cfg: &SynthCifarConfig, seed: u64) -> Result<(Dataset, Dataset)> {
+    cfg.validate()?;
+    let root = Rng::from_seed(seed).stream(RngStream::Data);
+    let mut proto_rng = root.stream(RngStream::Custom(1));
+    let protos: Vec<Vec<f32>> = (0..cfg.num_classes)
+        .map(|_| prototype(cfg, &mut proto_rng))
+        .collect();
+    let mut train_rng = root.stream(RngStream::Custom(2));
+    let mut test_rng = root.stream(RngStream::Custom(3));
+    let train = build_split(cfg, &protos, cfg.train_per_class, &mut train_rng)?;
+    let test = build_split(cfg, &protos, cfg.test_per_class, &mut test_rng)?;
+    Ok((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_counts() {
+        let cfg = SynthCifarConfig::tiny();
+        let (train, test) = synth_cifar(&cfg, 1).unwrap();
+        assert_eq!(train.len(), 120);
+        assert_eq!(test.len(), 40);
+        assert_eq!(train.sample_shape(), &[3, 8, 8]);
+        assert_eq!(train.class_histogram(), vec![12; 10]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthCifarConfig::tiny();
+        let (a, _) = synth_cifar(&cfg, 7).unwrap();
+        let (b, _) = synth_cifar(&cfg, 7).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = synth_cifar(&cfg, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pixel_range_is_bounded() {
+        let (train, _) = synth_cifar(&SynthCifarConfig::tiny(), 3).unwrap();
+        assert!(train.images().max() <= 1.0);
+        assert!(train.images().min() >= -1.0);
+    }
+
+    #[test]
+    fn classes_are_separable_by_prototype_correlation() {
+        // nearest-prototype classifier on clean prototypes should beat
+        // chance by a wide margin — the task is learnable.
+        let cfg = SynthCifarConfig::tiny();
+        let (train, test) = synth_cifar(&cfg, 5).unwrap();
+        // estimate per-class mean from train as a stand-in prototype
+        let per = test.sample_shape().iter().product::<usize>();
+        let mut means = vec![vec![0.0f32; per]; cfg.num_classes];
+        let mut counts = vec![0usize; cfg.num_classes];
+        for i in 0..train.len() {
+            let y = train.labels()[i];
+            counts[y] += 1;
+            for j in 0..per {
+                means[y][j] += train.images().at(i * per + j);
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let img: Vec<f32> = (0..per).map(|j| test.images().at(i * per + j)).collect();
+            let best = (0..cfg.num_classes)
+                .max_by(|&a, &b| {
+                    let da: f32 = means[a].iter().zip(&img).map(|(m, v)| m * v).sum();
+                    let db: f32 = means[b].iter().zip(&img).map(|(m, v)| m * v).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / test.len() as f32;
+        assert!(acc > 0.45, "nearest-mean accuracy only {acc}");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        let mut cfg = SynthCifarConfig::tiny();
+        cfg.num_classes = 0;
+        assert!(synth_cifar(&cfg, 0).is_err());
+        let mut cfg2 = SynthCifarConfig::tiny();
+        cfg2.pixel_noise = -1.0;
+        assert!(synth_cifar(&cfg2, 0).is_err());
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let (train, test) = synth_cifar(&SynthCifarConfig::tiny(), 9).unwrap();
+        // same prototypes but different noise draws
+        assert_ne!(train.images().as_slice()[..64], test.images().as_slice()[..64]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Pulse trains: the temporal sequence of binary input vectors a crossbar
+//! consumes.
+
+use membit_tensor::{Tensor, TensorError};
+
+use crate::Result;
+
+/// A sequence of same-shaped ±1 pulse tensors plus their accumulation
+/// weights.
+///
+/// For thermometer coding all weights are 1; for bit slicing they are
+/// `2^i`. The decoded value is `Σ w_i·x_i / Σ w_i`, and a crossbar
+/// executes one analog MVM per pulse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseTrain {
+    pulses: Vec<Tensor>,
+    weights: Vec<f32>,
+}
+
+impl PulseTrain {
+    /// Bundles pulses with their weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an empty train, a
+    /// weight-count mismatch, or inconsistent pulse shapes.
+    pub fn new(pulses: Vec<Tensor>, weights: Vec<f32>) -> Result<Self> {
+        if pulses.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "pulse train cannot be empty".into(),
+            ));
+        }
+        if pulses.len() != weights.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} pulses but {} weights",
+                pulses.len(),
+                weights.len()
+            )));
+        }
+        let shape = pulses[0].shape().to_vec();
+        if let Some(bad) = pulses.iter().find(|p| p.shape() != shape) {
+            return Err(TensorError::ShapeMismatch {
+                op: "pulse train",
+                lhs: shape,
+                rhs: bad.shape().to_vec(),
+            });
+        }
+        Ok(Self { pulses, weights })
+    }
+
+    /// Number of pulses (crossbar time steps).
+    pub fn num_pulses(&self) -> usize {
+        self.pulses.len()
+    }
+
+    /// Shape of each pulse tensor.
+    pub fn shape(&self) -> &[usize] {
+        self.pulses[0].shape()
+    }
+
+    /// The pulse tensors, in temporal order.
+    pub fn pulses(&self) -> &[Tensor] {
+        &self.pulses
+    }
+
+    /// The accumulation weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Sum of the accumulation weights (the decode normalizer).
+    pub fn weight_norm(&self) -> f32 {
+        self.weights.iter().sum()
+    }
+
+    /// Iterates `(weight, pulse)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f32, &Tensor)> {
+        self.weights.iter().copied().zip(&self.pulses)
+    }
+
+    /// Decodes the train back to values: `Σ w_i·x_i / Σ w_i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (impossible for a validated train).
+    pub fn decode(&self) -> Result<Tensor> {
+        let mut acc = Tensor::zeros(self.shape());
+        for (w, p) in self.iter() {
+            acc.axpy(w, p)?;
+        }
+        Ok(acc.mul_scalar(1.0 / self.weight_norm()))
+    }
+
+    /// Total pulse-weighted latency proxy: the number of pulses (all
+    /// pulses take one time step regardless of weight).
+    pub fn latency(&self) -> usize {
+        self.pulses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert!(PulseTrain::new(vec![], vec![]).is_err());
+        assert!(PulseTrain::new(vec![t(&[1.0])], vec![1.0, 2.0]).is_err());
+        assert!(PulseTrain::new(vec![t(&[1.0]), t(&[1.0, 1.0])], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn decode_weighted_average() {
+        let train = PulseTrain::new(
+            vec![t(&[1.0, -1.0]), t(&[1.0, 1.0]), t(&[-1.0, 1.0])],
+            vec![1.0, 2.0, 4.0],
+        )
+        .unwrap();
+        let d = train.decode().unwrap();
+        // (1+2−4)/7, (−1+2+4)/7
+        assert!(d.allclose(&t(&[-1.0 / 7.0, 5.0 / 7.0]), 1e-6));
+        assert_eq!(train.latency(), 3);
+        assert_eq!(train.weight_norm(), 7.0);
+    }
+
+    #[test]
+    fn iter_pairs_weights_with_pulses() {
+        let train = PulseTrain::new(vec![t(&[1.0]), t(&[-1.0])], vec![0.5, 1.5]).unwrap();
+        let collected: Vec<f32> = train.iter().map(|(w, p)| w * p.at(0)).collect();
+        assert_eq!(collected, vec![0.5, -1.5]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Closed-form accumulated-noise variances (paper Eqs. 2–4, Fig. 1b).
+
+/// Eq. 2: bit-slicing output noise variance for `bits` pulses —
+/// `Σ(2^i)² / (Σ2^i)² · σ²`.
+///
+/// # Panics
+///
+/// Panics for `bits == 0`.
+pub fn bit_slicing_variance(bits: usize, sigma2: f64) -> f64 {
+    assert!(bits > 0, "bit slicing needs ≥ 1 bit");
+    let sum: f64 = (0..bits).map(|i| 2f64.powi(i as i32)).sum();
+    let sum_sq: f64 = (0..bits).map(|i| 4f64.powi(i as i32)).sum();
+    sum_sq / (sum * sum) * sigma2
+}
+
+/// Eq. 3: thermometer output noise variance for `pulses` pulses — `σ²/p`.
+///
+/// # Panics
+///
+/// Panics for `pulses == 0`.
+pub fn thermometer_variance(pulses: usize, sigma2: f64) -> f64 {
+    assert!(pulses > 0, "thermometer needs ≥ 1 pulse");
+    sigma2 / pulses as f64
+}
+
+/// Eq. 4: variance of a pulse-scaled thermometer code — `σ²/(n·p)` for
+/// scaling factor `n` applied to a `p`-pulse base code.
+///
+/// # Panics
+///
+/// Panics for non-positive `n` or `p == 0`.
+pub fn scaled_thermometer_variance(base_pulses: usize, scale: f64, sigma2: f64) -> f64 {
+    assert!(base_pulses > 0 && scale > 0.0, "invalid pulse scaling");
+    sigma2 / (scale * base_pulses as f64)
+}
+
+/// One row of the Fig. 1(b) comparison: both schemes carrying `bits` bits
+/// of information, normalized to a 1-bit baseline variance of 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1bRow {
+    /// Information content in bits.
+    pub bits: usize,
+    /// Bit-slicing pulse count (= bits).
+    pub bs_pulses: usize,
+    /// Thermometer pulse count (= 2^bits − 1).
+    pub tc_pulses: usize,
+    /// Normalized bit-slicing variance.
+    pub bs_variance: f64,
+    /// Normalized thermometer variance.
+    pub tc_variance: f64,
+}
+
+/// Computes the Fig. 1(b) series for `1..=max_bits` bits with `σ² = 1`.
+pub fn fig1b_series(max_bits: usize) -> Vec<Fig1bRow> {
+    (1..=max_bits)
+        .map(|bits| Fig1bRow {
+            bits,
+            bs_pulses: bits,
+            tc_pulses: (1usize << bits) - 1,
+            bs_variance: bit_slicing_variance(bits, 1.0),
+            tc_variance: thermometer_variance((1usize << bits) - 1, 1.0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pulse_baseline_is_sigma2() {
+        assert_eq!(bit_slicing_variance(1, 2.0), 2.0);
+        assert_eq!(thermometer_variance(1, 2.0), 2.0);
+    }
+
+    #[test]
+    fn closed_forms_match_hand_computation() {
+        // b = 3: Σ4^i = 21, Σ2^i = 7 ⇒ 21/49
+        assert!((bit_slicing_variance(3, 1.0) - 21.0 / 49.0).abs() < 1e-12);
+        assert!((thermometer_variance(7, 1.0) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq4_inverse_scaling() {
+        let base = scaled_thermometer_variance(8, 1.0, 1.0);
+        let doubled = scaled_thermometer_variance(8, 2.0, 1.0);
+        assert!((base / doubled - 2.0).abs() < 1e-12);
+        // non-integer n (PLA-enabled) also valid
+        let frac = scaled_thermometer_variance(8, 1.25, 1.0);
+        assert!((frac - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_slicing_variance_flattens_to_one_third() {
+        // as b → ∞, Σ4^i/(Σ2^i)² → (4^b/3)/(4^b) = 1/3
+        let v = bit_slicing_variance(20, 1.0);
+        assert!((v - 1.0 / 3.0).abs() < 1e-4, "v = {v}");
+    }
+
+    #[test]
+    fn fig1b_thermometer_always_wins_beyond_one_bit() {
+        let series = fig1b_series(8);
+        assert_eq!(series.len(), 8);
+        assert_eq!(series[0].bs_variance, series[0].tc_variance); // b = 1 tie
+        for row in &series[1..] {
+            assert!(
+                row.tc_variance < row.bs_variance,
+                "bits = {}: tc {} !< bs {}",
+                row.bits,
+                row.tc_variance,
+                row.bs_variance
+            );
+        }
+    }
+
+    #[test]
+    fn fig1b_both_monotone_decreasing() {
+        let series = fig1b_series(8);
+        for w in series.windows(2) {
+            assert!(w[1].bs_variance <= w[0].bs_variance);
+            assert!(w[1].tc_variance < w[0].tc_variance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit slicing")]
+    fn zero_bits_panics() {
+        bit_slicing_variance(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pulse scaling")]
+    fn zero_scale_panics() {
+        scaled_thermometer_variance(8, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal binary checkpoint format for parameters and running statistics.
+//!
+//! Layout (all little-endian): the magic `MBCKPT1\n`, a `u32` entry count,
+//! then per entry a length-prefixed UTF-8 name, a `u32` rank, `u64` dims,
+//! and the raw `f32` payload. No external dependencies.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use membit_tensor::Tensor;
+
+use crate::params::Params;
+
+const MAGIC: &[u8; 8] = b"MBCKPT1\n";
+
+/// Saves every parameter of `params` plus the `extra` named tensors
+/// (typically batch-norm running statistics) to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params(
+    path: impl AsRef<Path>,
+    params: &Params,
+    extra: &[(String, Tensor)],
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let count = params.len() + extra.len();
+    w.write_all(&(count as u32).to_le_bytes())?;
+    for (name, tensor) in params
+        .iter()
+        .map(|(n, t)| (n.to_owned(), t))
+        .chain(extra.iter().map(|(n, t)| (n.clone(), t)))
+    {
+        write_entry(&mut w, &name, tensor)?;
+    }
+    w.flush()
+}
+
+fn write_entry(w: &mut impl Write, name: &str, tensor: &Tensor) -> io::Result<()> {
+    let bytes = name.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.write_all(&(tensor.rank() as u32).to_le_bytes())?;
+    for &d in tensor.shape() {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    for &v in tensor.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Loads every `(name, tensor)` entry from a checkpoint written by
+/// [`save_params`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a bad magic or truncated
+/// file, or any underlying I/O error.
+pub fn load_params(path: impl AsRef<Path>) -> io::Result<Vec<(String, Tensor)>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a membit checkpoint (bad magic)",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            shape.push(u64::from_le_bytes(b) as usize);
+        }
+        let volume: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(volume);
+        let mut b = [0u8; 4];
+        for _ in 0..volume {
+            r.read_exact(&mut b)?;
+            data.push(f32::from_le_bytes(b));
+        }
+        let tensor = Tensor::from_vec(data, &shape)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        out.push((name, tensor));
+    }
+    Ok(out)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("membit-ckpt-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_params_and_extras() {
+        let mut params = Params::new();
+        params.register("a.weight", Tensor::from_vec(vec![1.0, -2.0, 3.5], &[3]).unwrap());
+        params.register("b.weight", Tensor::from_fn(&[2, 2], |i| i as f32));
+        let extra = vec![(
+            "bn0.running_mean".to_string(),
+            Tensor::from_vec(vec![0.25], &[1]).unwrap(),
+        )];
+        let path = temp_path("roundtrip");
+        save_params(&path, &params, &extra).unwrap();
+        let loaded = load_params(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[0].0, "a.weight");
+        assert_eq!(loaded[0].1.as_slice(), &[1.0, -2.0, 3.5]);
+        assert_eq!(loaded[1].1.shape(), &[2, 2]);
+        assert_eq!(loaded[2].0, "bn0.running_mean");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"NOTACKPT....").unwrap();
+        let err = load_params(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let mut params = Params::new();
+        params.register("w", Tensor::ones(&[100]));
+        let path = temp_path("trunc");
+        save_params(&path, &params, &[]).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(load_params(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn assign_restores_into_store() {
+        let mut params = Params::new();
+        params.register("w", Tensor::zeros(&[2]));
+        let path = temp_path("assign");
+        {
+            let mut donor = Params::new();
+            donor.register("w", Tensor::from_vec(vec![7.0, 8.0], &[2]).unwrap());
+            save_params(&path, &donor, &[]).unwrap();
+        }
+        for (name, tensor) in load_params(&path).unwrap() {
+            assert!(params.assign(&name, tensor));
+        }
+        std::fs::remove_file(&path).ok();
+        let id = params.find("w").unwrap();
+        assert_eq!(params.get(id).as_slice(), &[7.0, 8.0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Optimizers: SGD with momentum/weight-decay and Adam.
+
+use membit_autograd::Tape;
+use membit_tensor::Tensor;
+
+use crate::params::{Binding, Params};
+use crate::Result;
+
+/// A gradient-descent optimizer over a [`Params`] store.
+///
+/// After `tape.backward(loss)`, call [`step`](Optimizer::step) with the
+/// binding of that forward pass; parameters that were bound and received a
+/// gradient are updated in place.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (which indicate parameter/gradient
+    /// bookkeeping bugs).
+    fn step(&mut self, params: &mut Params, tape: &Tape, binding: &Binding) -> Result<()>;
+
+    /// Sets the learning rate (for schedulers).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled-style
+/// L2 weight decay (`g ← g + wd·θ`), the paper's pre-training optimizer.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given hyperparameters.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, tape: &Tape, binding: &Binding) -> Result<()> {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for (idx, var) in binding.bound() {
+            let Some(grad) = tape.grad(var) else {
+                continue;
+            };
+            let mut g = grad.clone();
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, params.get_by_index(idx))?;
+            }
+            let update = if self.momentum != 0.0 {
+                let v = self.velocity[idx]
+                    .get_or_insert_with(|| Tensor::zeros(g.shape()));
+                // v ← μ·v + g
+                let mut nv = v.mul_scalar(self.momentum);
+                nv.axpy(1.0, &g)?;
+                *v = nv.clone();
+                nv
+            } else {
+                g
+            };
+            params.get_by_index_mut(idx).axpy(-self.lr, &update)?;
+        }
+        Ok(())
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba), used for the GBO λ-parameter search phase.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard β = (0.9, 0.999), ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, tape: &Tape, binding: &Binding) -> Result<()> {
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, var) in binding.bound() {
+            let Some(grad) = tape.grad(var) else {
+                continue;
+            };
+            let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
+            let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(grad.shape()));
+            let mut nm = m.mul_scalar(self.beta1);
+            nm.axpy(1.0 - self.beta1, grad)?;
+            *m = nm;
+            let mut nv = v.mul_scalar(self.beta2);
+            nv.axpy(1.0 - self.beta2, &grad.square())?;
+            *v = nv;
+            let mhat = self.m[idx].as_ref().expect("just set").mul_scalar(1.0 / bc1);
+            let vhat = self.v[idx].as_ref().expect("just set").mul_scalar(1.0 / bc2);
+            let eps = self.eps;
+            let update = mhat.zip_map(&vhat, |mv, vv| mv / (vv.sqrt() + eps))?;
+            params.get_by_index_mut(idx).axpy(-self.lr, &update)?;
+        }
+        Ok(())
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membit_autograd::Tape;
+
+    /// Minimizes f(θ) = Σ (θ − target)² with the given optimizer.
+    fn optimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut params = Params::new();
+        let id = params.register("theta", Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap());
+        let target = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let mut binding = params.binding();
+            let theta = params.bind(&mut tape, &mut binding, id);
+            let t = tape.constant(target.clone());
+            let d = tape.sub(theta, t).unwrap();
+            let sq = tape.mul(d, d).unwrap();
+            let loss = tape.sum_all(sq);
+            tape.backward(loss).unwrap();
+            opt.step(&mut params, &tape, &binding).unwrap();
+        }
+        let theta = params.get(id);
+        theta
+            .sub(&target)
+            .unwrap()
+            .square()
+            .sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        assert!(optimize(&mut opt, 100) < 1e-6);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9, 0.0);
+        assert!(optimize(&mut opt, 150) < 1e-5);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        assert!(optimize(&mut opt, 300) < 1e-4);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut params = Params::new();
+        let id = params.register("w", Tensor::ones(&[1]));
+        let mut opt = Sgd::new(0.1, 0.0, 1.0);
+        // loss ≡ 0 gradient; only decay acts
+        let mut tape = Tape::new();
+        let mut binding = params.binding();
+        let w = params.bind(&mut tape, &mut binding, id);
+        let zero = tape.constant(Tensor::zeros(&[1]));
+        let prod = tape.mul(w, zero).unwrap();
+        let loss = tape.sum_all(prod);
+        tape.backward(loss).unwrap();
+        opt.step(&mut params, &tape, &binding).unwrap();
+        assert!((params.get(id).item() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lr_getter_setter() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        assert_eq!(opt.lr(), 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+        let mut adam = Adam::new(1e-3);
+        adam.set_lr(1e-4);
+        assert!((adam.lr() - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbound_params_untouched() {
+        let mut params = Params::new();
+        let a = params.register("a", Tensor::ones(&[1]));
+        let b = params.register("b", Tensor::ones(&[1]));
+        let mut opt = Sgd::new(0.5, 0.0, 0.0);
+        let mut tape = Tape::new();
+        let mut binding = params.binding();
+        let av = params.bind(&mut tape, &mut binding, a);
+        let sq = tape.mul(av, av).unwrap();
+        let loss = tape.sum_all(sq);
+        tape.backward(loss).unwrap();
+        opt.step(&mut params, &tape, &binding).unwrap();
+        assert!((params.get(a).item() - 0.0).abs() < 1e-6); // 1 − 0.5·2 = 0
+        assert_eq!(params.get(b).item(), 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Learning-rate schedules.
+
+use crate::optim::Optimizer;
+
+/// Step decay: multiplies the base LR by `factor` at each listed epoch
+/// milestone — the paper uses decay ×0.1 at 50 %, 70 % and 90 % of
+/// training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepLr {
+    base_lr: f32,
+    factor: f32,
+    milestones: Vec<usize>,
+}
+
+impl StepLr {
+    /// Creates a schedule with explicit epoch milestones.
+    pub fn new(base_lr: f32, factor: f32, milestones: Vec<usize>) -> Self {
+        Self {
+            base_lr,
+            factor,
+            milestones,
+        }
+    }
+
+    /// The paper's schedule: decay ×0.1 at 50 %, 70 % and 90 % of
+    /// `total_epochs`.
+    pub fn paper(base_lr: f32, total_epochs: usize) -> Self {
+        Self::new(
+            base_lr,
+            0.1,
+            vec![
+                total_epochs * 50 / 100,
+                total_epochs * 70 / 100,
+                total_epochs * 90 / 100,
+            ],
+        )
+    }
+
+    /// Learning rate for `epoch` (0-based).
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.factor.powi(passed as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: usize) {
+        opt.set_lr(self.lr_at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn paper_schedule_milestones() {
+        let s = StepLr::paper(1e-3, 60);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(29), 1e-3);
+        assert!((s.lr_at(30) - 1e-4).abs() < 1e-10);
+        assert!((s.lr_at(42) - 1e-5).abs() < 1e-11);
+        assert!((s.lr_at(54) - 1e-6).abs() < 1e-12);
+        assert!((s.lr_at(59) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let s = StepLr::new(0.1, 0.5, vec![2]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        s.apply(&mut opt, 5);
+        assert!((opt.lr() - 0.05).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_milestones_is_constant() {
+        let s = StepLr::new(0.3, 0.1, vec![]);
+        assert_eq!(s.lr_at(1000), 0.3);
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+    /// A parameter was invalid (zero stride, empty kernel, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "`{op}` requires rank {expected}, got rank {actual}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![2, 2],
+                rhs: vec![3],
+            },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::InvalidArgument("stride must be nonzero".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic random number generation.
+//!
+//! Every experiment in the workspace takes a single `u64` seed; purposes
+//! (weight init, data generation, crossbar noise, device variation) each get
+//! an independent substream derived with [`Rng::stream`], so adding noise
+//! samples in one place never perturbs the data another component sees.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+use crate::Tensor;
+
+/// Named substreams derived from a root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RngStream {
+    /// Weight and parameter initialization.
+    Init,
+    /// Dataset generation, shuffling and augmentation.
+    Data,
+    /// Functional crossbar noise (the paper's `N(0, σ²)`).
+    Noise,
+    /// Device-to-device variation in the device-level simulator.
+    Device,
+    /// Anything else; the payload separates custom streams.
+    Custom(u64),
+}
+
+impl RngStream {
+    fn tag(self) -> u64 {
+        match self {
+            RngStream::Init => 0x1157_0001,
+            RngStream::Data => 0xDA7A_0002,
+            RngStream::Noise => 0x2015_0003,
+            RngStream::Device => 0xDE1C_0004,
+            RngStream::Custom(v) => 0xC057_0005 ^ v.rotate_left(17),
+        }
+    }
+}
+
+/// A seeded random number generator with Gaussian sampling.
+///
+/// Gaussian values come from the Box–Muller transform so the workspace does
+/// not need `rand_distr`.
+///
+/// ```
+/// use membit_tensor::{Rng, RngStream};
+/// let mut a = Rng::from_seed(42).stream(RngStream::Noise);
+/// let mut b = Rng::from_seed(42).stream(RngStream::Noise);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    seed: u64,
+    cached_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a root seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+            cached_normal: None,
+        }
+    }
+
+    /// Derives an independent generator for a named purpose.
+    ///
+    /// Streams are a pure function of `(root seed, purpose)`, so the same
+    /// pair always yields the same sequence regardless of draw order
+    /// elsewhere.
+    pub fn stream(&self, purpose: RngStream) -> Rng {
+        // splitmix64-style mix of the root seed with the purpose tag
+        let mut z = self.seed ^ purpose.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng::from_seed(z)
+    }
+
+    /// The root seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.inner.gen::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn coin(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Gaussian sample via Box–Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if let Some(z) = self.cached_normal.take() {
+            return mean + std * z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f32 = 1.0 - self.inner.gen::<f32>();
+        let u2: f32 = self.inner.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.cached_normal = Some(r * theta.sin());
+        mean + std * r * theta.cos()
+    }
+
+    /// Tensor of i.i.d. Gaussian samples.
+    pub fn normal_tensor(&mut self, shape: &[usize], mean: f32, std: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| self.normal(mean, std))
+    }
+
+    /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| self.uniform(lo, hi))
+    }
+
+    /// Kaiming/He-style fan-in scaled init used for conv/linear weights.
+    pub fn kaiming_tensor(&mut self, shape: &[usize], fan_in: usize) -> Tensor {
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        self.normal_tensor(shape, 0.0, std)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_and_reproducible() {
+        let root = Rng::from_seed(99);
+        let mut n1 = root.stream(RngStream::Noise);
+        let mut n2 = root.stream(RngStream::Noise);
+        let mut d = root.stream(RngStream::Data);
+        let x1 = n1.normal(0.0, 1.0);
+        assert_eq!(x1, n2.normal(0.0, 1.0));
+        assert_ne!(x1, d.normal(0.0, 1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = Rng::from_seed(3);
+        let t = rng.normal_tensor(&[50_000], 2.0, 3.0);
+        assert!((t.mean() - 2.0).abs() < 0.05, "mean was {}", t.mean());
+        assert!((t.std() - 3.0).abs() < 0.05, "std was {}", t.std());
+    }
+
+    #[test]
+    fn uniform_range_respected() {
+        let mut rng = Rng::from_seed(5);
+        for _ in 0..1000 {
+            let v = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&v));
+            let i = rng.below(10);
+            assert!(i < 10);
+        }
+    }
+
+    #[test]
+    fn coin_probability_rough() {
+        let mut rng = Rng::from_seed(11);
+        let heads = (0..10_000).filter(|_| rng.coin(0.25)).count();
+        assert!((2000..3000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::from_seed(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn kaiming_scale_tracks_fan_in() {
+        let mut rng = Rng::from_seed(13);
+        let t = rng.kaiming_tensor(&[10_000], 50);
+        let expect = (2.0f32 / 50.0).sqrt();
+        assert!((t.std() - expect).abs() < 0.01);
+    }
+}

@@ -1,0 +1,130 @@
+//! Latency and energy accounting for crossbar executions.
+
+/// Raw event counts from executing pulse trains on a
+/// [`CrossbarLinear`](crate::CrossbarLinear).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Input vectors processed.
+    pub vectors: u64,
+    /// Pulses (crossbar time steps) driven, summed over vectors.
+    pub pulses: u64,
+    /// Individual tile MVM operations.
+    pub tile_mvms: u64,
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Active cell-read events (rows × cols per tile MVM).
+    pub cell_reads: u64,
+}
+
+impl ExecutionStats {
+    /// Accumulates another stats block.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.vectors += other.vectors;
+        self.pulses += other.pulses;
+        self.tile_mvms += other.tile_mvms;
+        self.adc_conversions += other.adc_conversions;
+        self.cell_reads += other.cell_reads;
+    }
+
+    /// Average pulses per input vector.
+    pub fn pulses_per_vector(&self) -> f64 {
+        if self.vectors == 0 {
+            0.0
+        } else {
+            self.pulses as f64 / self.vectors as f64
+        }
+    }
+}
+
+/// First-order energy/latency model.
+///
+/// Constants are representative of published ReRAM accelerator numbers
+/// (ISAAC-class): they matter only *relatively* — the paper's latency
+/// regularizer trades pulse count against accuracy, and every extra pulse
+/// costs one crossbar cycle plus one ADC sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per active cell read (pJ).
+    pub pj_per_cell_read: f64,
+    /// Energy per ADC conversion at `adc_bits` resolution (pJ).
+    pub pj_per_adc: f64,
+    /// Crossbar cycle time per pulse (ns).
+    pub ns_per_pulse: f64,
+}
+
+impl EnergyModel {
+    /// Representative defaults: 0.05 pJ/cell read, 2 pJ/8-bit conversion,
+    /// 100 ns pulse cycle.
+    pub fn representative() -> Self {
+        Self {
+            pj_per_cell_read: 0.05,
+            pj_per_adc: 2.0,
+            ns_per_pulse: 100.0,
+        }
+    }
+
+    /// Total energy for `stats`, in pJ.
+    pub fn energy_pj(&self, stats: &ExecutionStats) -> f64 {
+        stats.cell_reads as f64 * self.pj_per_cell_read
+            + stats.adc_conversions as f64 * self.pj_per_adc
+    }
+
+    /// Total latency for `stats`, in ns (pulses are sequential per
+    /// vector; vectors are assumed pipelined one-per-pulse-slot).
+    pub fn latency_ns(&self, stats: &ExecutionStats) -> f64 {
+        stats.pulses as f64 * self.ns_per_pulse
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::representative()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecutionStats {
+            vectors: 1,
+            pulses: 8,
+            tile_mvms: 16,
+            adc_conversions: 128,
+            cell_reads: 1024,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.vectors, 2);
+        assert_eq!(a.pulses, 16);
+        assert_eq!(a.cell_reads, 2048);
+    }
+
+    #[test]
+    fn pulses_per_vector_handles_empty() {
+        assert_eq!(ExecutionStats::default().pulses_per_vector(), 0.0);
+        let s = ExecutionStats {
+            vectors: 4,
+            pulses: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.pulses_per_vector(), 10.0);
+    }
+
+    #[test]
+    fn energy_scales_with_events() {
+        let m = EnergyModel::representative();
+        let s1 = ExecutionStats {
+            pulses: 8,
+            adc_conversions: 100,
+            cell_reads: 1000,
+            ..Default::default()
+        };
+        let mut s2 = s1;
+        s2.merge(&s1);
+        assert!((m.energy_pj(&s2) - 2.0 * m.energy_pj(&s1)).abs() < 1e-9);
+        assert!((m.latency_ns(&s1) - 800.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,498 @@
+//! The crossbar execution engine: tile partitioning and pulse-train MVM.
+
+use membit_encoding::PulseTrain;
+use membit_tensor::{Rng, Tensor, TensorError};
+
+use crate::adc::Adc;
+use crate::energy::ExecutionStats;
+use crate::noise::NoiseSpec;
+use crate::program::{ProgramStats, WriteVerify};
+use crate::tile::Tile;
+use crate::Result;
+
+/// Deployment configuration of one crossbar-mapped linear operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XbarConfig {
+    /// Maximum wordlines (input rows) per tile.
+    pub tile_rows: usize,
+    /// Maximum bitline pairs (output columns) per tile.
+    pub tile_cols: usize,
+    /// Per-tile ADC resolution; `None` models an ideal (infinite) ADC.
+    /// The full-scale range is auto-sized to the tile's row count (the
+    /// worst-case ±1 accumulation).
+    pub adc_bits: Option<u32>,
+    /// Noise configuration.
+    pub noise: NoiseSpec,
+    /// Optional program-and-verify write policy; `None` programs each
+    /// cell with a single pulse.
+    pub write_verify: Option<WriteVerify>,
+}
+
+impl XbarConfig {
+    /// Ideal deployment: one noise-free, infinitely precise 128×128 tile
+    /// fabric.
+    pub fn ideal() -> Self {
+        Self {
+            tile_rows: 128,
+            tile_cols: 128,
+            adc_bits: None,
+            noise: NoiseSpec::none(),
+            write_verify: None,
+        }
+    }
+
+    /// The paper's functional model: additive per-pulse Gaussian output
+    /// noise on otherwise ideal hardware.
+    pub fn functional(output_sigma: f32) -> Self {
+        Self {
+            noise: NoiseSpec::functional(output_sigma),
+            ..Self::ideal()
+        }
+    }
+
+    /// Realistic deployment: 128×128 tiles, 8-bit ADCs, device variation,
+    /// plus functional output noise.
+    pub fn realistic(output_sigma: f32) -> Self {
+        Self {
+            tile_rows: 128,
+            tile_cols: 128,
+            adc_bits: Some(8),
+            noise: NoiseSpec::realistic(output_sigma),
+            write_verify: Some(WriteVerify::standard()),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tile_rows == 0 || self.tile_cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "tile dimensions must be nonzero".into(),
+            ));
+        }
+        if let Some(wv) = &self.write_verify {
+            wv.validate()?;
+        }
+        self.noise.validate()
+    }
+}
+
+/// A linear operator `y = W·x` deployed across a grid of crossbar tiles.
+///
+/// `W` is `[out, in]` (logical binary weights); physically the transpose
+/// is programmed so wordlines carry inputs. Executing a
+/// [`PulseTrain`] runs one analog MVM per pulse per input vector, ADC-
+/// quantizes each tile's columns, digitally accumulates tiles and pulses
+/// with the train's weights, and normalizes by the weight sum — exactly
+/// the temporal accumulation whose noise the paper analyzes in Eqs. 2–4.
+#[derive(Debug, Clone)]
+pub struct CrossbarLinear {
+    out_features: usize,
+    in_features: usize,
+    /// Row-tile-major grid: `tiles[r][c]` covers input rows
+    /// `r·tile_rows..` and output cols `c·tile_cols..`.
+    tiles: Vec<Vec<Tile>>,
+    row_starts: Vec<usize>,
+    col_starts: Vec<usize>,
+    adcs: Vec<Option<Adc>>, // per row-block (range depends on rows)
+    config: XbarConfig,
+    program_stats: ProgramStats,
+}
+
+impl CrossbarLinear {
+    /// Programs the weight matrix `w` (`[out, in]`, entries ±1) onto a
+    /// tile grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/shape validation errors.
+    pub fn program(w: &Tensor, config: &XbarConfig, rng: &mut Rng) -> Result<Self> {
+        if w.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "crossbar program",
+                expected: 2,
+                actual: w.rank(),
+            });
+        }
+        config.validate()?;
+        let (out_features, in_features) = (w.shape()[0], w.shape()[1]);
+        let wt = w.transpose()?; // [in, out]: rows = wordlines
+        let mut program_stats = ProgramStats::default();
+        let row_starts: Vec<usize> = (0..in_features).step_by(config.tile_rows).collect();
+        let col_starts: Vec<usize> = (0..out_features).step_by(config.tile_cols).collect();
+        let mut tiles = Vec::with_capacity(row_starts.len());
+        let mut adcs = Vec::with_capacity(row_starts.len());
+        for &r0 in &row_starts {
+            let rows = config.tile_rows.min(in_features - r0);
+            let mut row_tiles = Vec::with_capacity(col_starts.len());
+            for &c0 in &col_starts {
+                let cols = config.tile_cols.min(out_features - c0);
+                let mut sub = Tensor::zeros(&[rows, cols]);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        sub.set(&[i, j], wt.get(&[r0 + i, c0 + j]));
+                    }
+                }
+                match &config.write_verify {
+                    Some(policy) => {
+                        let (tile, stats) =
+                            Tile::program_verified(&sub, &config.noise.device, policy, rng)?;
+                        program_stats.merge(&stats);
+                        row_tiles.push(tile);
+                    }
+                    None => row_tiles.push(Tile::program(&sub, &config.noise.device, rng)?),
+                }
+            }
+            tiles.push(row_tiles);
+            adcs.push(match config.adc_bits {
+                Some(bits) => Some(Adc::new(bits, rows as f32 * 1.25)?),
+                None => None,
+            });
+        }
+        Ok(Self {
+            out_features,
+            in_features,
+            tiles,
+            row_starts,
+            col_starts,
+            adcs,
+            config: *config,
+            program_stats,
+        })
+    }
+
+    /// Write/endurance counters from the programming phase. Counters are
+    /// only tracked when a [`WriteVerify`] policy is configured; without
+    /// one the stats stay at their zero default.
+    pub fn program_stats(&self) -> &ProgramStats {
+        &self.program_stats
+    }
+
+    /// `(out_features, in_features)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.out_features, self.in_features)
+    }
+
+    /// Number of physical tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.iter().map(Vec::len).sum()
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &XbarConfig {
+        &self.config
+    }
+
+    /// Executes a pulse train of input vectors (`[N, in]` per pulse),
+    /// returning decoded outputs `[N, out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the train's vectors don't match
+    /// `in_features`.
+    pub fn execute(&self, train: &PulseTrain, rng: &mut Rng) -> Result<Tensor> {
+        self.execute_with_stats(train, rng).map(|(y, _)| y)
+    }
+
+    /// Like [`execute`](Self::execute) but also returns event counts for
+    /// energy/latency analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the train's vectors don't match
+    /// `in_features`.
+    pub fn execute_with_stats(
+        &self,
+        train: &PulseTrain,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, ExecutionStats)> {
+        let shape = train.shape();
+        if shape.len() != 2 || shape[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                op: "crossbar execute",
+                lhs: shape.to_vec(),
+                rhs: vec![shape.first().copied().unwrap_or(0), self.in_features],
+            });
+        }
+        let n = shape[0];
+        let mut acc = Tensor::zeros(&[n, self.out_features]);
+        let mut stats = ExecutionStats {
+            vectors: n as u64,
+            ..Default::default()
+        };
+        let mut col_buf = vec![0.0f32; self.config.tile_cols];
+        for (pulse_weight, pulse) in train.iter() {
+            let px = pulse.as_slice();
+            for s in 0..n {
+                stats.pulses += 1;
+                let xrow = &px[s * self.in_features..(s + 1) * self.in_features];
+                for (ri, &r0) in self.row_starts.iter().enumerate() {
+                    let rows = self.config.tile_rows.min(self.in_features - r0);
+                    let xs = &xrow[r0..r0 + rows];
+                    for (ci, &c0) in self.col_starts.iter().enumerate() {
+                        let tile = &self.tiles[ri][ci];
+                        let (trows, tcols) = tile.dims();
+                        let out = &mut col_buf[..tcols];
+                        tile.mvm(xs, &self.config.noise, rng, out)?;
+                        stats.tile_mvms += 1;
+                        stats.cell_reads += (trows * tcols) as u64;
+                        if let Some(adc) = &self.adcs[ri] {
+                            adc.convert_slice(out);
+                            stats.adc_conversions += tcols as u64;
+                        }
+                        let arow = acc.as_mut_slice();
+                        for (j, &v) in out.iter().enumerate() {
+                            arow[s * self.out_features + c0 + j] += pulse_weight * v;
+                        }
+                    }
+                }
+            }
+        }
+        let y = acc.mul_scalar(1.0 / train.weight_norm());
+        Ok((y, stats))
+    }
+
+    /// Ages every tile by `hours` of retention drift (see
+    /// [`Tile::age`]).
+    pub fn age(&mut self, hours: f32, nu: f32, nu_sigma: f32, rng: &mut Rng) {
+        for row in &mut self.tiles {
+            for tile in row {
+                tile.age(hours, nu, nu_sigma, rng);
+            }
+        }
+    }
+
+    /// The noise-free digital reference `x·Wᵀ` for comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn ideal_output(&self, x: &Tensor, w: &Tensor) -> Result<Tensor> {
+        x.matmul(&w.transpose()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
+
+    fn random_pm1(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng::from_seed(seed);
+        Tensor::from_fn(shape, |_| if rng.coin(0.5) { 1.0 } else { -1.0 })
+    }
+
+    #[test]
+    fn ideal_execution_matches_matmul_single_tile() {
+        let w = random_pm1(&[5, 7], 1);
+        let mut rng = Rng::from_seed(2);
+        let xbar = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng).unwrap();
+        assert_eq!(xbar.num_tiles(), 1);
+        let x = Tensor::from_fn(&[3, 7], |i| ((i % 9) as f32 / 8.0) * 2.0 - 1.0);
+        // snap x to 9 levels via the encoder
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let y = xbar.execute(&train, &mut rng).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        assert!(y.allclose(&expect, 1e-3), "{y:?} vs {expect:?}");
+    }
+
+    #[test]
+    fn tiled_execution_matches_single_tile() {
+        let w = random_pm1(&[20, 33], 3);
+        let x = random_pm1(&[2, 33], 4);
+        let train = Thermometer::new(4).unwrap().encode_tensor(&x).unwrap();
+
+        let mut rng1 = Rng::from_seed(5);
+        let big = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng1).unwrap();
+        let y_big = big.execute(&train, &mut rng1).unwrap();
+
+        let mut cfg = XbarConfig::ideal();
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 6;
+        let mut rng2 = Rng::from_seed(6);
+        let small = CrossbarLinear::program(&w, &cfg, &mut rng2).unwrap();
+        assert_eq!(small.num_tiles(), 5 * 4);
+        let y_small = small.execute(&train, &mut rng2).unwrap();
+
+        assert!(y_big.allclose(&y_small, 1e-3));
+    }
+
+    #[test]
+    fn bit_sliced_train_decodes_identically_when_ideal() {
+        let w = random_pm1(&[6, 10], 7);
+        let x = Tensor::from_fn(&[2, 10], |i| ((i % 8) as f32 / 7.0) * 2.0 - 1.0);
+        let enc = BitSlicing::new(3).unwrap();
+        let train = enc.encode_tensor(&x).unwrap();
+        let mut rng = Rng::from_seed(8);
+        let xbar = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng).unwrap();
+        let y = xbar.execute(&train, &mut rng).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        assert!(y.allclose(&expect, 1e-3));
+    }
+
+    #[test]
+    fn monte_carlo_variance_matches_eq3() {
+        // thermometer p pulses ⇒ output variance σ²/p (Eq. 3)
+        let w = Tensor::ones(&[1, 4]);
+        let sigma = 2.0f32;
+        let p = 8usize;
+        let mut rng = Rng::from_seed(11);
+        let xbar =
+            CrossbarLinear::program(&w, &XbarConfig::functional(sigma), &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, 4]);
+        let train = Thermometer::new(p).unwrap().encode_tensor(&x).unwrap();
+        let clean: f32 = train
+            .decode()
+            .unwrap()
+            .matmul(&w.transpose().unwrap())
+            .unwrap()
+            .at(0);
+        let mut samples = Vec::new();
+        for _ in 0..3000 {
+            samples.push(xbar.execute(&train, &mut rng).unwrap().at(0) - clean);
+        }
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / samples.len() as f32;
+        let expect = sigma * sigma / p as f32;
+        assert!(
+            (var - expect).abs() < 0.15 * expect + 0.02,
+            "var {var} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_variance_matches_eq2() {
+        // bit slicing b pulses ⇒ Σ4^i/(Σ2^i)²·σ² (Eq. 2)
+        let w = Tensor::ones(&[1, 4]);
+        let sigma = 2.0f32;
+        let b = 3usize;
+        let mut rng = Rng::from_seed(12);
+        let xbar =
+            CrossbarLinear::program(&w, &XbarConfig::functional(sigma), &mut rng).unwrap();
+        let x = Tensor::zeros(&[1, 4]);
+        let train = BitSlicing::new(b).unwrap().encode_tensor(&x).unwrap();
+        let clean: f32 = train
+            .decode()
+            .unwrap()
+            .matmul(&w.transpose().unwrap())
+            .unwrap()
+            .at(0);
+        let mut samples = Vec::new();
+        for _ in 0..3000 {
+            samples.push(xbar.execute(&train, &mut rng).unwrap().at(0) - clean);
+        }
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / samples.len() as f32;
+        let expect = (sigma * sigma) * 21.0 / 49.0;
+        assert!(
+            (var - expect).abs() < 0.15 * expect + 0.02,
+            "var {var} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn adc_quantization_bounds_error() {
+        let w = random_pm1(&[4, 16], 9);
+        let x = random_pm1(&[2, 16], 10);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let mut cfg = XbarConfig::ideal();
+        cfg.adc_bits = Some(8);
+        let mut rng = Rng::from_seed(13);
+        let xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        let (y, stats) = xbar.execute_with_stats(&train, &mut rng).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        // 8-bit ADC over range ±20: step ≈ 0.16, per-pulse error ≤ 0.08
+        assert!(y.allclose(&expect, 0.2), "{y:?} vs {expect:?}");
+        assert!(stats.adc_conversions > 0);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let w = random_pm1(&[4, 6], 14);
+        let x = random_pm1(&[3, 6], 15);
+        let train = Thermometer::new(5).unwrap().encode_tensor(&x).unwrap();
+        let mut rng = Rng::from_seed(16);
+        let xbar = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng).unwrap();
+        let (_, stats) = xbar.execute_with_stats(&train, &mut rng).unwrap();
+        assert_eq!(stats.vectors, 3);
+        assert_eq!(stats.pulses, 15); // 3 vectors × 5 pulses
+        assert_eq!(stats.tile_mvms, 15);
+        assert_eq!(stats.cell_reads, 15 * 24);
+        assert_eq!(stats.adc_conversions, 0);
+    }
+
+    #[test]
+    fn execute_validates_input_width() {
+        let w = random_pm1(&[4, 6], 17);
+        let mut rng = Rng::from_seed(18);
+        let xbar = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng).unwrap();
+        let train = Thermometer::new(2)
+            .unwrap()
+            .encode_tensor(&Tensor::zeros(&[1, 5]))
+            .unwrap();
+        assert!(xbar.execute(&train, &mut rng).is_err());
+    }
+
+    #[test]
+    fn write_verify_tightens_weights_and_counts_writes() {
+        let mut cfg = XbarConfig::ideal();
+        cfg.noise.device.d2d_sigma = 0.12;
+        let w = random_pm1(&[6, 10], 21);
+        // single-pulse programming: weights scattered by variation
+        let mut rng1 = Rng::from_seed(22);
+        let loose = CrossbarLinear::program(&w, &cfg, &mut rng1).unwrap();
+        assert_eq!(loose.program_stats().write_pulses, 0);
+
+        cfg.write_verify = Some(crate::WriteVerify {
+            tolerance: 0.02,
+            max_attempts: 60,
+        });
+        let mut rng2 = Rng::from_seed(23);
+        let tight = CrossbarLinear::program(&w, &cfg, &mut rng2).unwrap();
+        let stats = tight.program_stats();
+        assert_eq!(stats.cells, 2 * 60); // differential pair per weight
+        assert!(stats.write_pulses > stats.cells);
+        assert_eq!(stats.failed_cells, 0);
+        assert!(stats.writes_per_cell() > 1.0);
+
+        // verified programming yields a more accurate MVM
+        let x = random_pm1(&[4, 10], 24);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        let err = |engine: &CrossbarLinear, rng: &mut Rng| -> f32 {
+            let y = engine.execute(&train, rng).unwrap();
+            y.sub(&expect).unwrap().abs().max()
+        };
+        let loose_err = err(&loose, &mut rng1);
+        let tight_err = err(&tight, &mut rng2);
+        assert!(
+            tight_err < loose_err,
+            "verify should tighten: {tight_err} !< {loose_err}"
+        );
+    }
+
+    #[test]
+    fn invalid_write_verify_rejected() {
+        let mut cfg = XbarConfig::ideal();
+        cfg.write_verify = Some(crate::WriteVerify {
+            tolerance: 0.0,
+            max_attempts: 3,
+        });
+        let mut rng = Rng::from_seed(25);
+        assert!(CrossbarLinear::program(&Tensor::ones(&[2, 2]), &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn program_validates() {
+        let mut rng = Rng::from_seed(19);
+        assert!(
+            CrossbarLinear::program(&Tensor::zeros(&[4]), &XbarConfig::ideal(), &mut rng)
+                .is_err()
+        );
+        let mut cfg = XbarConfig::ideal();
+        cfg.tile_rows = 0;
+        assert!(
+            CrossbarLinear::program(&Tensor::zeros(&[2, 2]), &cfg, &mut rng).is_err()
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! One physical crossbar tile: programmed conductance pairs plus the
+//! per-pulse analog MVM.
+
+use membit_tensor::{Rng, Tensor, TensorError};
+
+use crate::device::DeviceModel;
+use crate::noise::NoiseSpec;
+use crate::program::{program_cell_verified, ProgramStats, WriteVerify};
+use crate::Result;
+
+/// A `rows × cols` crossbar tile storing binary weights as differential
+/// conductance pairs.
+///
+/// Rows are wordlines (driven by input pulses, ±1 V bipolar), columns are
+/// differential bitline pairs. The tile is *programmed once* — device-to-
+/// device variation and stuck faults are frozen at construction — while
+/// cycle-to-cycle read noise and the functional output noise are sampled
+/// on every [`mvm`](Self::mvm).
+#[derive(Debug, Clone)]
+pub struct Tile {
+    rows: usize,
+    cols: usize,
+    /// As-programmed conductance of the positive cell, row-major.
+    g_pos: Vec<f32>,
+    /// As-programmed conductance of the negative cell, row-major.
+    g_neg: Vec<f32>,
+    /// Per-cell IR-drop attenuation (all 1.0 when disabled), row-major.
+    attenuation: Vec<f32>,
+    device: DeviceModel,
+}
+
+impl Tile {
+    /// Programs a tile from logical binary weights `w` (`[rows, cols]`,
+    /// entries ±1; any positive value maps to +1).
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/validation errors for non-matrix input or an invalid
+    /// device model.
+    pub fn program(w: &Tensor, device: &DeviceModel, rng: &mut Rng) -> Result<Self> {
+        if w.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "tile program",
+                expected: 2,
+                actual: w.rank(),
+            });
+        }
+        device.validate()?;
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let mut g_pos = Vec::with_capacity(rows * cols);
+        let mut g_neg = Vec::with_capacity(rows * cols);
+        for &v in w.as_slice() {
+            let positive = v >= 0.0;
+            g_pos.push(device.program_cell(positive, rng));
+            g_neg.push(device.program_cell(!positive, rng));
+        }
+        let alpha = device.ir_drop_alpha;
+        let attenuation = (0..rows * cols)
+            .map(|idx| {
+                if alpha == 0.0 {
+                    1.0
+                } else {
+                    let (i, j) = (idx / cols, idx % cols);
+                    1.0 - alpha * (i as f32 / rows as f32 + j as f32 / cols as f32) / 2.0
+                }
+            })
+            .collect();
+        Ok(Self {
+            rows,
+            cols,
+            g_pos,
+            g_neg,
+            attenuation,
+            device: *device,
+        })
+    }
+
+    /// Programs a tile with write-and-verify (see
+    /// [`WriteVerify`]): each cell is iteratively re-programmed until its
+    /// conductance sits within tolerance, returning the endurance/energy
+    /// counters alongside the tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/policy validation and shape errors.
+    pub fn program_verified(
+        w: &Tensor,
+        device: &DeviceModel,
+        policy: &WriteVerify,
+        rng: &mut Rng,
+    ) -> Result<(Self, ProgramStats)> {
+        policy.validate()?;
+        let mut tile = Self::program(w, device, rng)?;
+        let mut stats = ProgramStats::default();
+        for (idx, &v) in w.as_slice().iter().enumerate() {
+            let positive = v >= 0.0;
+            tile.g_pos[idx] = program_cell_verified(device, positive, policy, rng, &mut stats);
+            tile.g_neg[idx] = program_cell_verified(device, !positive, policy, rng, &mut stats);
+        }
+        Ok((tile, stats))
+    }
+
+    /// Ages the array by `hours` of retention: every cell's conductance
+    /// drifts by the PCM-style power law `G(t) = G₀·(1 + t)^{−ν}`, with
+    /// the per-cell exponent drawn as `N(nu, nu_sigma)` (clamped ≥ 0).
+    /// Differential weights shrink toward 0, eroding the stored network —
+    /// the retention effect the `ablation_drift` bench quantifies.
+    pub fn age(&mut self, hours: f32, nu: f32, nu_sigma: f32, rng: &mut Rng) {
+        if hours <= 0.0 || nu <= 0.0 {
+            return;
+        }
+        let base = 1.0 + hours;
+        for g in self.g_pos.iter_mut().chain(self.g_neg.iter_mut()) {
+            let cell_nu = (nu + if nu_sigma > 0.0 {
+                rng.normal(0.0, nu_sigma)
+            } else {
+                0.0
+            })
+            .max(0.0);
+            *g *= base.powf(-cell_nu);
+        }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The effective weight the tile actually stores for `(row, col)` —
+    /// `(G⁺ − G⁻)/(G_on − G_off)`, which is ±1 for ideal devices.
+    pub fn effective_weight(&self, row: usize, col: usize) -> f32 {
+        let idx = row * self.cols + col;
+        let denom = self.device.g_on - self.device.g_off();
+        (self.g_pos[idx] - self.g_neg[idx]) / denom
+    }
+
+    /// One analog MVM: drives `x` (`len = rows`, entries ±1 or 0) through
+    /// the array and writes normalized differential column currents into
+    /// `out` (`len = cols`).
+    ///
+    /// `noise.output_sigma` Gaussian noise is added per column;
+    /// cycle-to-cycle read noise perturbs every cell independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on slice-length
+    /// mismatches.
+    pub fn mvm(&self, x: &[f32], noise: &NoiseSpec, rng: &mut Rng, out: &mut [f32]) -> Result<()> {
+        if x.len() != self.rows || out.len() != self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "mvm expects x[{}] and out[{}], got x[{}] / out[{}]",
+                self.rows,
+                self.cols,
+                x.len(),
+                out.len()
+            )));
+        }
+        let denom = self.device.g_on - self.device.g_off();
+        out.fill(0.0);
+        let c2c = self.device.c2c_sigma > 0.0;
+        // Cycle-to-cycle read noise is aggregated per column: every active
+        // cell contributes an independent `N(0, (σ_c2c·G)²)` term to the
+        // column current, so their sum is Gaussian with variance
+        // `σ_c2c²·Σ x_i²(G⁺² + G⁻²)` — one sample per column instead of
+        // two per cell, statistically identical and ~10⁴× cheaper on
+        // large tiles.
+        let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let base = i * self.cols;
+            for (j, o) in out.iter_mut().enumerate() {
+                let (gp, gn) = (self.g_pos[base + j], self.g_neg[base + j]);
+                *o += xi * (gp - gn) * self.attenuation[base + j] / denom;
+                if c2c {
+                    c2c_var[j] += xi * xi * (gp * gp + gn * gn);
+                }
+            }
+        }
+        if c2c {
+            let s = self.device.c2c_sigma / denom;
+            for (o, &v) in out.iter_mut().zip(&c2c_var) {
+                if v > 0.0 {
+                    *o += rng.normal(0.0, s * v.sqrt());
+                }
+            }
+        }
+        if noise.output_sigma > 0.0 {
+            for o in out.iter_mut() {
+                *o += rng.normal(0.0, noise.output_sigma);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> Tensor {
+        Tensor::from_vec(vec![1.0, -1.0, -1.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap()
+    }
+
+    #[test]
+    fn ideal_tile_stores_exact_weights() {
+        let mut rng = Rng::from_seed(0);
+        let tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        assert_eq!(tile.dims(), (3, 2));
+        assert_eq!(tile.effective_weight(0, 0), 1.0);
+        assert_eq!(tile.effective_weight(0, 1), -1.0);
+        assert_eq!(tile.effective_weight(1, 0), -1.0);
+    }
+
+    #[test]
+    fn ideal_mvm_matches_matrix_product() {
+        let mut rng = Rng::from_seed(0);
+        let tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        let x = [1.0, -1.0, 1.0];
+        let mut out = [0.0; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        // col0: 1·1 + (−1)(−1) + 1·1 = 3; col1: −1 + (−1) + 1 = −1
+        assert!((out[0] - 3.0).abs() < 1e-5);
+        assert!((out[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_inputs_skip_rows() {
+        let mut rng = Rng::from_seed(0);
+        let tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        let mut out = [0.0; 2];
+        tile.mvm(&[0.0, 0.0, 0.0], &NoiseSpec::none(), &mut rng, &mut out)
+            .unwrap();
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn output_noise_has_requested_variance() {
+        let mut rng = Rng::from_seed(42);
+        let tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        let noise = NoiseSpec::functional(2.0);
+        let mut samples = Vec::new();
+        let mut out = [0.0; 2];
+        for _ in 0..4000 {
+            tile.mvm(&[1.0, 1.0, 1.0], &noise, &mut rng, &mut out).unwrap();
+            samples.push(out[0] - 1.0); // clean value is 1·1 −1 +1 = 1
+        }
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / samples.len() as f32;
+        assert!(mean.abs() < 0.12, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var = {var}");
+    }
+
+    #[test]
+    fn mvm_validates_lengths() {
+        let mut rng = Rng::from_seed(0);
+        let tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        let mut out = [0.0; 2];
+        assert!(tile.mvm(&[1.0], &NoiseSpec::none(), &mut rng, &mut out).is_err());
+        let mut short = [0.0; 1];
+        assert!(tile
+            .mvm(&[1.0, 1.0, 1.0], &NoiseSpec::none(), &mut rng, &mut short)
+            .is_err());
+    }
+
+    #[test]
+    fn d2d_variation_perturbs_effective_weights() {
+        let mut device = DeviceModel::ideal();
+        device.d2d_sigma = 0.1;
+        let mut rng = Rng::from_seed(5);
+        let tile = Tile::program(&weights(), &device, &mut rng).unwrap();
+        let w = tile.effective_weight(0, 0);
+        assert!(w != 1.0 && (w - 1.0).abs() < 0.7, "w = {w}");
+    }
+
+    #[test]
+    fn aggregated_c2c_noise_matches_closed_form_variance() {
+        // per-column aggregation must deliver σ_c2c²·Σ(G⁺²+G⁻²)/denom²
+        let mut device = DeviceModel::ideal();
+        device.c2c_sigma = 0.05;
+        device.on_off_ratio = 20.0; // G_off = 5, so both cells contribute
+        let mut rng = Rng::from_seed(17);
+        let w = Tensor::ones(&[4, 1]);
+        let tile = Tile::program(&w, &device, &mut rng).unwrap();
+        let denom = device.g_on - device.g_off();
+        let expect_var = {
+            let per_cell = device.g_on * device.g_on + device.g_off() * device.g_off();
+            0.05f32 * 0.05 * 4.0 * per_cell / (denom * denom)
+        };
+        let x = [1.0f32; 4];
+        let clean = 4.0; // four +1 weights, +1 inputs
+        let mut out = [0.0f32; 1];
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let trials = 4000;
+        for _ in 0..trials {
+            tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+            let d = f64::from(out[0] - clean);
+            sum += d;
+            sum_sq += d * d;
+        }
+        let mean = sum / trials as f64;
+        let var = (sum_sq / trials as f64 - mean * mean) as f32;
+        assert!(
+            (var - expect_var).abs() < 0.15 * expect_var,
+            "var {var} vs expected {expect_var}"
+        );
+    }
+
+    #[test]
+    fn ir_drop_attenuates_far_cells() {
+        let mut device = DeviceModel::ideal();
+        device.ir_drop_alpha = 0.2;
+        let mut rng = Rng::from_seed(7);
+        let w = Tensor::ones(&[4, 4]);
+        let tile = Tile::program(&w, &device, &mut rng).unwrap();
+        // drive only the first row vs only the last row: the near cell
+        // contributes more
+        let mut near = [0.0f32; 4];
+        let mut far = [0.0f32; 4];
+        tile.mvm(&[1.0, 0.0, 0.0, 0.0], &NoiseSpec::none(), &mut rng, &mut near)
+            .unwrap();
+        tile.mvm(&[0.0, 0.0, 0.0, 1.0], &NoiseSpec::none(), &mut rng, &mut far)
+            .unwrap();
+        assert!(near[0] > far[0], "near {} vs far {}", near[0], far[0]);
+        // columns further from the sense amp also degrade
+        assert!(near[0] > near[3]);
+    }
+
+    #[test]
+    fn aging_shrinks_differential_weights() {
+        let mut rng = Rng::from_seed(8);
+        let w = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let mut tile = Tile::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+        let before = tile.effective_weight(0, 0);
+        tile.age(1000.0, 0.05, 0.0, &mut rng);
+        let after = tile.effective_weight(0, 0);
+        assert!(after.abs() < before.abs(), "{before} → {after}");
+        assert!(after > 0.0, "sign must be preserved by uniform drift");
+        // zero hours / zero nu are no-ops
+        let snapshot = tile.effective_weight(0, 1);
+        tile.age(0.0, 0.05, 0.0, &mut rng);
+        tile.age(10.0, 0.0, 0.0, &mut rng);
+        assert_eq!(tile.effective_weight(0, 1), snapshot);
+    }
+
+    #[test]
+    fn non_matrix_weights_rejected() {
+        let mut rng = Rng::from_seed(0);
+        assert!(Tile::program(&Tensor::zeros(&[4]), &DeviceModel::ideal(), &mut rng).is_err());
+    }
+}

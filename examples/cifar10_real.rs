@@ -1,0 +1,70 @@
+//! Running the reproduction on the *real* CIFAR-10, for users who have
+//! the dataset locally (this offline environment does not).
+//!
+//! Download the "binary version" from
+//! <https://www.cs.toronto.edu/~kriz/cifar.html>, extract it, and run:
+//!
+//! ```text
+//! cargo run --release -p membit-core --example cifar10_real -- \
+//!     /path/to/cifar-10-batches-bin
+//! ```
+//!
+//! Without an argument (or with a missing directory) the example explains
+//! what it would do and exits cleanly — so `cargo build --examples`
+//! and CI smoke runs stay green offline.
+
+use membit_core::{calibrate_noise, evaluate, pretrain, TrainConfig};
+use membit_data::load_cifar10;
+use membit_nn::{NoNoise, Params, Vgg, VggConfig};
+use membit_tensor::{Rng, RngStream};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: cifar10_real <path to cifar-10-batches-bin>");
+        eprintln!();
+        eprintln!("With the real dataset this example pre-trains the paper's");
+        eprintln!("full-scale VGG9-BWNN (3×32×32, channels 64…256) and reports");
+        eprintln!("clean accuracy plus the calibrated layer-noise anchors —");
+        eprintln!("the starting point for running table1/table2 on CIFAR-10.");
+        return Ok(());
+    };
+    let (train, test) = match load_cifar10(&dir) {
+        Ok(splits) => splits,
+        Err(e) => {
+            eprintln!("could not load CIFAR-10 from {dir}: {e}");
+            eprintln!("expected data_batch_1.bin … data_batch_5.bin and test_batch.bin");
+            return Ok(());
+        }
+    };
+    println!(
+        "loaded CIFAR-10: {} train / {} test images",
+        train.len(),
+        test.len()
+    );
+
+    let mut rng = Rng::from_seed(2022).stream(RngStream::Init);
+    let mut params = Params::new();
+    let mut vgg = Vgg::new(&VggConfig::paper(), &mut params, &mut rng)?;
+    println!("VGG9-BWNN with {} parameters", params.num_scalars());
+
+    // the paper's recipe; expect hours per epoch on a single CPU core —
+    // adjust epochs to taste.
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let cfg = TrainConfig::paper(epochs, 2022);
+    println!("pre-training for {epochs} epochs (paper recipe)…");
+    let report = pretrain(&mut vgg, &mut params, &train, &cfg, &mut NoNoise)?;
+    println!(
+        "final train accuracy {:.2}%",
+        report.final_train_acc * 100.0
+    );
+    let clean = evaluate(&mut vgg, &params, &test, 100)?;
+    println!("clean test accuracy {:.2}% (paper: 90.80%)", clean * 100.0);
+
+    let cal = calibrate_noise(&mut vgg, &params, &train, 100, 4, 14.0)?;
+    println!("layer RMS anchors: {:?}", cal.rms());
+    println!("ready for table1/table2-style evaluation (see membit-bench).");
+    Ok(())
+}

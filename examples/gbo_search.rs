@@ -1,0 +1,95 @@
+//! End-to-end GBO search (the paper's main contribution, §III-A):
+//! pre-train → freeze weights → learn per-layer encoding logits λ with
+//! the Eq. 5 noise mixture and the Eq. 6 latency regularizer → deploy the
+//! argmax encoding — and compare against uniform PLA at matched latency.
+//!
+//! ```text
+//! cargo run --release -p membit-core --example gbo_search
+//! ```
+
+use membit_core::{
+    calibrate_noise, evaluate, evaluate_with_hook, pretrain, GboConfig, GboTrainer, PlaHook,
+    TrainConfig,
+};
+use membit_data::{synth_cifar, SynthCifarConfig};
+use membit_nn::{Mlp, MlpConfig, NoNoise, Params};
+use membit_tensor::{Rng, RngStream};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data_cfg = SynthCifarConfig::tiny();
+    data_cfg.train_per_class = 30;
+    let (train, test) = synth_cifar(&data_cfg, 3)?;
+    let mut rng = Rng::from_seed(3).stream(RngStream::Init);
+    let mut params = Params::new();
+    let mut model = Mlp::new(
+        &MlpConfig::new(3 * 8 * 8, &[32, 24], 10),
+        &mut params,
+        &mut rng,
+    )?;
+    let cfg = TrainConfig {
+        epochs: 30,
+        batch_size: 25,
+        lr: 2e-2,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        augment_flip: false,
+        seed: 3,
+    };
+    pretrain(&mut model, &mut params, &train, &cfg, &mut NoNoise)?;
+    println!(
+        "clean accuracy: {:.1}%",
+        evaluate(&mut model, &params, &test, 25)? * 100.0
+    );
+
+    let cal = calibrate_noise(&mut model, &params, &train, 25, 4, 14.0)?;
+    let sigma = 15.0;
+
+    // GBO search: weights frozen, only λ trains.
+    let mut gbo_cfg = GboConfig::paper(1e-3, 3);
+    gbo_cfg.epochs = 6;
+    gbo_cfg.batch_size = 25;
+    gbo_cfg.lr = 0.1;
+    let mut trainer = GboTrainer::new(2, gbo_cfg)?;
+    let result = trainer.search(&mut model, &params, &train, &cal, sigma)?;
+    println!("\nGBO search at σ = {sigma}:");
+    for (l, lam) in result.lambdas.iter().enumerate() {
+        let pretty: Vec<String> = lam.iter().map(|v| format!("{v:+.2}")).collect();
+        println!("  λ[layer {l}] = [{}]", pretty.join(", "));
+    }
+    println!("  selected pulses per layer: {:?}", result.selected_pulses);
+    println!("  average pulses: {:.2}", result.avg_pulses());
+
+    // Evaluate the heterogeneous solution vs uniform PLA at the nearest
+    // integer budget.
+    let uniform = result.avg_pulses().round() as usize;
+    let eval = |pulses: Vec<usize>, tag: &str, model: &mut Mlp, params: &Params| {
+        let mut acc = 0.0;
+        for rep in 0..3u64 {
+            let mut hook = PlaHook::new(
+                pulses.clone(),
+                cal.sigma_abs(sigma),
+                9,
+                Rng::from_seed(100 + rep).stream(RngStream::Noise),
+            )
+            .expect("hook");
+            acc += evaluate_with_hook(model, params, &test, 25, &mut hook).expect("eval");
+        }
+        println!("  {tag:<24} {:.1}%", acc / 3.0 * 100.0);
+        acc / 3.0
+    };
+    println!("\naccuracy under σ = {sigma} crossbar noise:");
+    eval(vec![8, 8], "baseline [8, 8]", &mut model, &params);
+    eval(
+        vec![uniform; 2],
+        &format!("uniform PLA [{uniform}, {uniform}]"),
+        &mut model,
+        &params,
+    );
+    eval(
+        result.selected_pulses.clone(),
+        &format!("GBO {:?}", result.selected_pulses),
+        &mut model,
+        &params,
+    );
+    Ok(())
+}

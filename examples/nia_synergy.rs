@@ -1,0 +1,133 @@
+//! GBO × noise-aware training synergy (the paper's Table II story):
+//! Noise-Injection Adaptation (NIA) fine-tunes *weights* against the
+//! crossbar noise; GBO re-shapes the *input encoding*. They compose —
+//! each attacks a different part of the problem.
+//!
+//! ```text
+//! cargo run --release -p membit-core --example nia_synergy
+//! ```
+
+use membit_core::{
+    calibrate_noise, evaluate_with_hook, nia_finetune, pretrain, GboConfig, GboTrainer,
+    NiaConfig, PlaHook, TrainConfig,
+};
+use membit_data::{synth_cifar, SynthCifarConfig};
+use membit_nn::{Mlp, MlpConfig, NoNoise, Params};
+use membit_tensor::{Rng, RngStream};
+
+fn noisy_accuracy(
+    model: &mut Mlp,
+    params: &Params,
+    test: &membit_data::Dataset,
+    pulses: &[usize],
+    sigma_abs: Vec<f32>,
+) -> f32 {
+    let mut acc = 0.0;
+    for rep in 0..3u64 {
+        let mut hook = PlaHook::new(
+            pulses.to_vec(),
+            sigma_abs.clone(),
+            9,
+            Rng::from_seed(500 + rep).stream(RngStream::Noise),
+        )
+        .expect("hook");
+        acc += evaluate_with_hook(model, params, test, 25, &mut hook).expect("eval");
+    }
+    acc / 3.0 * 100.0
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data_cfg = SynthCifarConfig::tiny();
+    data_cfg.train_per_class = 30;
+    let (train, test) = synth_cifar(&data_cfg, 9)?;
+    let mut rng = Rng::from_seed(9).stream(RngStream::Init);
+    let mut params = Params::new();
+    let mut model = Mlp::new(
+        &MlpConfig::new(3 * 8 * 8, &[32, 24], 10),
+        &mut params,
+        &mut rng,
+    )?;
+    let cfg = TrainConfig {
+        epochs: 30,
+        batch_size: 25,
+        lr: 2e-2,
+        momentum: 0.9,
+        weight_decay: 0.0,
+        augment_flip: false,
+        seed: 9,
+    };
+    pretrain(&mut model, &mut params, &train, &cfg, &mut NoNoise)?;
+    let cal = calibrate_noise(&mut model, &params, &train, 25, 4, 14.0)?;
+    let sigma = 14.0; // 1.0× layer RMS — severe noise, where weight
+                      // adaptation has the most to recover
+    let sigma_abs = cal.sigma_abs(sigma);
+
+    println!("σ = {sigma} — accuracy / avg pulses");
+    let baseline = noisy_accuracy(&mut model, &params, &test, &[8, 8], sigma_abs.clone());
+    println!("  Baseline       {baseline:.1}% / 8");
+
+    // GBO on the clean-pretrained weights
+    let mut gbo_cfg = GboConfig::paper(1e-3, 9);
+    gbo_cfg.epochs = 5;
+    gbo_cfg.batch_size = 25;
+    gbo_cfg.lr = 0.1;
+    let mut trainer = GboTrainer::new(2, gbo_cfg.clone())?;
+    let gbo = trainer.search(&mut model, &params, &train, &cal, sigma)?;
+    let acc_gbo = noisy_accuracy(
+        &mut model,
+        &params,
+        &test,
+        &gbo.selected_pulses,
+        sigma_abs.clone(),
+    );
+    println!(
+        "  GBO            {acc_gbo:.1}% / {:.2}  ({:?})",
+        gbo.avg_pulses(),
+        gbo.selected_pulses
+    );
+
+    // NIA: fine-tune the weights against the injected noise.
+    nia_finetune(
+        &mut model,
+        &mut params,
+        &train,
+        &cal,
+        sigma,
+        &NiaConfig {
+            epochs: 8,
+            batch_size: 25,
+            lr: 2e-3,
+            pulses: 8,
+            augment_flip: false, // the pre-training above did not flip
+            seed: 10,
+        },
+    )?;
+    let cal2 = calibrate_noise(&mut model, &params, &train, 25, 4, 14.0)?;
+    let sigma_abs2 = cal2.sigma_abs(sigma);
+    let acc_nia = noisy_accuracy(&mut model, &params, &test, &[8, 8], sigma_abs2.clone());
+    println!("  NIA            {acc_nia:.1}% / 8");
+
+    // NIA + GBO: search the encoding on the adapted weights.
+    let mut trainer2 = GboTrainer::new(2, gbo_cfg)?;
+    let both = trainer2.search(&mut model, &params, &train, &cal2, sigma)?;
+    let acc_both = noisy_accuracy(
+        &mut model,
+        &params,
+        &test,
+        &both.selected_pulses,
+        sigma_abs2,
+    );
+    println!(
+        "  NIA + GBO      {acc_both:.1}% / {:.2}  ({:?})",
+        both.avg_pulses(),
+        both.selected_pulses
+    );
+    println!();
+    println!("weight adaptation and encoding optimization attack different parts of");
+    println!("the problem: NIA absorbs noise statistics into the weights, GBO buys");
+    println!("extra SNR per layer. At this toy scale (a 2-layer MLP on 300 images)");
+    println!("noisy fine-tuning can cost more than it recovers — run the full");
+    println!("experiment (`cargo run -p membit-bench --bin table2`) to see the");
+    println!("VGG9-scale synergy where NIA gains 3–17 points over the baseline.");
+    Ok(())
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus all ablations.
+# Usage: scripts/run_all.sh [quick|full] [seed]
+set -euo pipefail
+scale="${1:-quick}"
+seed="${2:-2022}"
+cd "$(dirname "$0")/.."
+
+cargo build --release -p membit-bench
+
+bins=(fig1b fig2 table1 table2 ablation_gamma ablation_space ablation_snap \
+      ablation_drift ablation_arch device_eval encoding_compare diagnostics)
+mkdir -p results/logs
+for bin in "${bins[@]}"; do
+    echo "=== $bin (--scale $scale --seed $seed) ==="
+    ./target/release/"$bin" --scale "$scale" --seed "$seed" \
+        | tee "results/logs/${bin}_${scale}.log"
+    echo
+done
+echo "all artifacts under results/ (CSVs) and results/logs/ (console output)"
