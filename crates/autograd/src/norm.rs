@@ -151,7 +151,7 @@ mod tests {
         let g = tape.leaf(Tensor::ones(&[1]), false);
         let b = tape.leaf(Tensor::zeros(&[1]), false);
         let mean = Tensor::from_vec(vec![2.0], &[1]).unwrap();
-        let var = Tensor::from_vec(vec![3.9999900], &[1]).unwrap();
+        let var = Tensor::from_vec(vec![3.99999], &[1]).unwrap();
         let y = tape
             .batch_norm_inference(x, g, b, &mean, &var, 1e-5)
             .unwrap();

@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks for the performance-critical kernels:
-//! matmul, im2col/conv lowering, VGG forward, bit encoding, and the
-//! device-level crossbar MVM.
+//! Micro-benchmarks for the performance-critical kernels: matmul,
+//! im2col/conv lowering, VGG forward, bit encoding, and the device-level
+//! crossbar MVM.
+//!
+//! Uses a small self-contained timing harness (`harness = false`) instead
+//! of criterion so the workspace builds offline with zero external
+//! dependencies. Run with `cargo bench -p membit-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use membit_autograd::Tape;
 use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
@@ -10,78 +15,97 @@ use membit_nn::{NoNoise, Params, Phase, Vgg, VggConfig};
 use membit_tensor::{im2col, Conv2dGeometry, MatmulOptions, Rng, Tensor};
 use membit_xbar::{CrossbarLinear, DeviceModel, NoiseSpec, Tile, XbarConfig};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+/// Times `f` with a warmup pass and enough iterations to fill ~0.2 s,
+/// reporting the per-iteration mean.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let probe = Instant::now();
+    black_box(f());
+    let once = probe.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.2 / once) as u64).clamp(3, 10_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else {
+        (per_iter * 1e6, "µs")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_matmul() {
     for &n in &[32usize, 64, 128] {
         let a = Tensor::from_fn(&[n, n], |i| (i % 17) as f32 - 8.0);
         let b = Tensor::from_fn(&[n, n], |i| (i % 13) as f32 - 6.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| a.matmul_with(&b, MatmulOptions::serial()).unwrap())
+        bench(&format!("matmul {n}x{n} serial"), || {
+            a.matmul_with(&b, MatmulOptions::serial()).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_im2col(c: &mut Criterion) {
+fn bench_im2col() {
     let x = Tensor::from_fn(&[8, 32, 16, 16], |i| (i % 9) as f32 / 4.0 - 1.0);
     let geom = Conv2dGeometry::new(32, 16, 16, 3, 3, 1, 1).unwrap();
-    c.bench_function("im2col 8x32x16x16 k3", |b| {
-        b.iter(|| im2col(&x, &geom).unwrap())
-    });
+    bench("im2col 8x32x16x16 k3", || im2col(&x, &geom).unwrap());
 }
 
-fn bench_vgg_forward(c: &mut Criterion) {
+fn bench_vgg_forward() {
     let mut rng = Rng::from_seed(0);
     let mut params = Params::new();
     let mut vgg = Vgg::new(&VggConfig::small(), &mut params, &mut rng).unwrap();
     let images = Tensor::from_fn(&[8, 3, 16, 16], |i| (i % 9) as f32 / 4.0 - 1.0);
-    c.bench_function("vgg9-small forward batch8", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let mut binding = params.frozen_binding();
-            let x = tape.constant(images.clone());
-            vgg.forward(&mut tape, &params, &mut binding, x, Phase::Eval, &mut NoNoise)
-                .unwrap()
-        })
+    bench("vgg9-small forward batch8", || {
+        let mut tape = Tape::new();
+        let mut binding = params.frozen_binding();
+        let x = tape.constant(images.clone());
+        vgg.forward(&mut tape, &params, &mut binding, x, Phase::Eval, &mut NoNoise)
+            .unwrap()
     });
 }
 
-fn bench_encoding(c: &mut Criterion) {
+fn bench_encoding() {
     let x = Tensor::from_fn(&[64, 144], |i| ((i % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0));
     let thermo = Thermometer::new(8).unwrap();
     let slicing = BitSlicing::new(3).unwrap();
-    c.bench_function("thermometer encode 64x144 p8", |b| {
-        b.iter(|| thermo.encode_tensor(&x).unwrap())
+    bench("thermometer encode 64x144 p8", || {
+        thermo.encode_tensor(&x).unwrap()
     });
-    c.bench_function("bit-slicing encode 64x144 b3", |b| {
-        b.iter(|| slicing.encode_tensor(&x).unwrap())
+    bench("bit-slicing encode 64x144 b3", || {
+        slicing.encode_tensor(&x).unwrap()
     });
 }
 
-fn bench_xbar(c: &mut Criterion) {
+fn bench_xbar() {
     let mut rng = Rng::from_seed(1);
     let w = Tensor::from_fn(&[64, 128], |i| if i % 3 == 0 { 1.0 } else { -1.0 });
     let tile = Tile::program(&w.transpose().unwrap(), &DeviceModel::ideal(), &mut rng).unwrap();
     let x: Vec<f32> = (0..128).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
     let mut out = vec![0.0f32; 64];
-    c.bench_function("tile mvm 128x64", |b| {
-        b.iter(|| {
-            tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
-            out[0]
-        })
+    bench("tile mvm 128x64", || {
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        out[0]
     });
 
     let engine = CrossbarLinear::program(&w, &XbarConfig::functional(2.0), &mut rng).unwrap();
     let input = Tensor::from_fn(&[4, 128], |i| ((i % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0));
     let train = Thermometer::new(8).unwrap().encode_tensor(&input).unwrap();
-    c.bench_function("crossbar execute 4x128->64 p8", |b| {
-        b.iter(|| engine.execute(&train, &mut rng).unwrap())
+    bench("crossbar execute 4x128->64 p8", || {
+        engine.execute(&train, &mut rng).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_im2col, bench_vgg_forward, bench_encoding, bench_xbar
+fn main() {
+    // `cargo test` builds and runs bench targets with `--test`; there is
+    // nothing to test here, so bail out quickly in that mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    bench_matmul();
+    bench_im2col();
+    bench_vgg_forward();
+    bench_encoding();
+    bench_xbar();
 }
-criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! connections and channel projections, a topology the VGG code never
 //! saw. Nothing in `membit-core` changes; only the model differs.
 
+use std::error::Error;
+
 use membit_bench::{results_dir, Cli};
 use membit_core::{
     calibrate_noise, evaluate, layer_sensitivity, pretrain, GboConfig, GboTrainer, PlaHook,
@@ -16,7 +18,7 @@ use membit_data::{synth_cifar, SynthCifarConfig};
 use membit_nn::{NoNoise, Params, ResNet, ResNetConfig};
 use membit_tensor::{Rng, RngStream};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
     let epochs = match cli.scale {
@@ -26,11 +28,11 @@ fn main() {
     let mut data_cfg = SynthCifarConfig::default_experiment();
     data_cfg.train_per_class = 200;
     data_cfg.test_per_class = 50;
-    let (train, test) = synth_cifar(&data_cfg, cli.seed).expect("data");
+    let (train, test) = synth_cifar(&data_cfg, cli.seed)?;
 
     let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Init);
     let mut params = Params::new();
-    let mut net = ResNet::new(&ResNetConfig::small(), &mut params, &mut rng).expect("resnet");
+    let mut net = ResNet::new(&ResNetConfig::small(), &mut params, &mut rng)?;
     let layers = net.crossbar_layers();
     println!(
         "# BWNN ResNet: {} crossbar layers, {} parameters",
@@ -41,11 +43,11 @@ fn main() {
     let mut tc = TrainConfig::paper(epochs, cli.seed);
     tc.lr = 2e-2;
     let t = std::time::Instant::now();
-    pretrain(&mut net, &mut params, &train, &tc, &mut NoNoise).expect("pretrain");
-    let clean = evaluate(&mut net, &params, &test, 100).expect("clean") * 100.0;
+    pretrain(&mut net, &mut params, &train, &tc, &mut NoNoise)?;
+    let clean = evaluate(&mut net, &params, &test, 100)? * 100.0;
     println!("# trained {epochs} epochs in {:.0}s, clean accuracy {clean:.2}%", t.elapsed().as_secs_f32());
 
-    let cal = calibrate_noise(&mut net, &params, &train, 100, 4, 14.0).expect("calibrate");
+    let cal = calibrate_noise(&mut net, &params, &train, 100, 4, 14.0)?;
     println!("# layer RMS: {:?}", cal.rms());
 
     // Fig.2-style sensitivity on the new topology
@@ -57,13 +59,15 @@ fn main() {
         100,
         2,
         cli.seed,
-    )
-    .expect("sensitivity");
+    )?;
     let pretty: Vec<String> = sens.iter().map(|a| format!("{:.1}", a * 100.0)).collect();
     println!("layer sensitivity at σ={sigma}: [{}]%", pretty.join(", "));
 
     // noisy evaluation helper
-    let mut eval_pulses = |net: &mut ResNet, params: &Params, pulses: Vec<usize>| -> f32 {
+    let eval_pulses = |net: &mut ResNet,
+                       params: &Params,
+                       pulses: Vec<usize>|
+     -> membit_core::Result<f32> {
         let mut acc = 0.0;
         for rep in 0..2u64 {
             let mut hook = PlaHook::new(
@@ -71,27 +75,23 @@ fn main() {
                 cal.sigma_abs(sigma),
                 9,
                 Rng::from_seed(cli.seed ^ (rep + 1)).stream(RngStream::Noise),
-            )
-            .expect("hook");
-            acc += membit_core::evaluate_with_hook(net, params, &test, 100, &mut hook)
-                .expect("eval");
+            )?;
+            acc += membit_core::evaluate_with_hook(net, params, &test, 100, &mut hook)?;
         }
-        acc / 2.0 * 100.0
+        Ok(acc / 2.0 * 100.0)
     };
 
-    let baseline = eval_pulses(&mut net, &params, vec![8; layers]);
+    let baseline = eval_pulses(&mut net, &params, vec![8; layers])?;
     println!("baseline p=8:  {baseline:.2}%");
-    let pla16 = eval_pulses(&mut net, &params, vec![16; layers]);
+    let pla16 = eval_pulses(&mut net, &params, vec![16; layers])?;
     println!("uniform p=16:  {pla16:.2}%");
 
     // the unchanged GBO search on the new topology
     let mut gbo_cfg = GboConfig::paper(cli.f32_opt("--gamma").unwrap_or(8e-4), cli.seed);
     gbo_cfg.epochs = membit_bench::gbo_epochs(cli.scale);
-    let mut trainer = GboTrainer::new(layers, gbo_cfg).expect("trainer");
-    let result = trainer
-        .search(&mut net, &params, &train, &cal, sigma)
-        .expect("search");
-    let acc_gbo = eval_pulses(&mut net, &params, result.selected_pulses.clone());
+    let mut trainer = GboTrainer::new(layers, gbo_cfg)?;
+    let result = trainer.search(&mut net, &params, &train, &cal, sigma)?;
+    let acc_gbo = eval_pulses(&mut net, &params, result.selected_pulses.clone())?;
     println!(
         "GBO:           {acc_gbo:.2}% at avg {:.2} pulses {:?}",
         result.avg_pulses(),
@@ -112,6 +112,7 @@ fn main() {
         ],
     ];
     let path = results_dir().join("ablation_arch.csv");
-    write_csv(&path, &["method", "pulses", "accuracy_pct"], &rows).expect("write csv");
+    write_csv(&path, &["method", "pulses", "accuracy_pct"], &rows)?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

@@ -6,13 +6,15 @@
 //! the differential signal while the additive noise stays constant, so
 //! the SNR advantage of longer codes should grow with device age.
 
+use std::error::Error;
+
 use membit_bench::{results_dir, Cli};
-use membit_core::{write_csv, DeviceEvalConfig, DeviceVgg};
+use membit_core::{write_csv, DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 use membit_data::Dataset;
 use membit_tensor::{Rng, RngStream, Tensor};
 use membit_xbar::XbarConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let exp = membit_bench::setup_experiment(&cli);
     let (vgg, params) = exp.model();
@@ -23,13 +25,12 @@ fn main() {
     };
     let test = exp.test_set();
     let n = subset.min(test.len());
-    let (images, _) = test.batch(0, n).expect("subset");
+    let (images, _) = test.batch(0, n)?;
     let subset_set = Dataset::new(
-        Tensor::from_vec(images.as_slice().to_vec(), images.shape()).expect("copy"),
+        Tensor::from_vec(images.as_slice().to_vec(), images.shape())?,
         test.labels()[..n].to_vec(),
         test.num_classes(),
-    )
-    .expect("subset dataset");
+    )?;
 
     let sigma_paper = cli.f32_opt("--sigma").unwrap_or(10.0);
     let sigma_abs = exp.calibration().sigma_abs(sigma_paper);
@@ -55,14 +56,12 @@ fn main() {
                     xbar: XbarConfig::functional(sigma_mean),
                     pulses: vec![pulses; 7],
                     act_levels: 9,
+                    policy: DeploymentPolicy::default(),
                 },
                 &mut rng,
-            )
-            .expect("deploy");
+            )?;
             device.age(hours, nu, nu_sigma, &mut rng);
-            let (acc, _) = device
-                .evaluate(&subset_set, 20, &mut rng)
-                .expect("device eval");
+            let (acc, _) = device.evaluate(&subset_set, 20, &mut rng)?;
             accs.push(acc * 100.0);
         }
         println!("{hours:>12} | {:>10.1} {:>10.1}", accs[0], accs[1]);
@@ -78,6 +77,7 @@ fn main() {
     println!("signal while pulse averaging keeps attacking the noise.");
 
     let path = results_dir().join("ablation_drift.csv");
-    write_csv(&path, &["hours", "acc_p8_pct", "acc_p16_pct"], &rows).expect("write csv");
+    write_csv(&path, &["hours", "acc_p8_pct", "acc_p16_pct"], &rows)?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

@@ -1,0 +1,164 @@
+//! Ablation F (extension beyond the paper): fault-aware deployment.
+//!
+//! Sweeps the stuck-cell rate of the device model and deploys the same
+//! trained network under three policies — no recovery, march-test +
+//! remap, and remap + in-service drift refresh — measuring accuracy and
+//! the recovery statistics at each point. The arrays are aged after
+//! programming so the refresh arm has drift to repair on top of the
+//! manufacturing faults.
+//!
+//! Expected shape: accuracy of the unprotected deployment collapses as
+//! stuck cells accumulate; remapping recovers most of the loss while
+//! faults are sparse enough for spares/flips to absorb; refresh adds the
+//! retention-drift headroom back on top.
+
+use std::error::Error;
+
+use membit_bench::{results_dir, Cli};
+use membit_core::{
+    write_csv, DeploymentPolicy, DeviceEvalConfig, DeviceVgg, FaultAblationRow,
+};
+use membit_data::Dataset;
+use membit_tensor::{Rng, RngStream, Tensor};
+use membit_xbar::{HealthMonitor, RecoveryPolicy, XbarConfig};
+
+/// Hours of retention drift applied between programming and evaluation.
+/// Chosen for a mean conductance decay of ≈10% — enough that the refresh
+/// arm has real drift to repair, mild enough that the unprotected arm
+/// starts from healthy accuracy and the stuck-fault gradient is visible.
+const AGE_HOURS: f32 = 200.0;
+const NU: f32 = 0.02;
+const NU_SIGMA: f32 = 0.005;
+
+fn policy_for(label: &str, batch: u64) -> DeploymentPolicy {
+    match label {
+        "none" => DeploymentPolicy::default(),
+        "remap" => DeploymentPolicy {
+            recovery: Some(RecoveryPolicy::standard()),
+            monitor: None,
+        },
+        "remap+refresh" => DeploymentPolicy {
+            recovery: Some(RecoveryPolicy::standard()),
+            monitor: Some(HealthMonitor {
+                check_interval: batch,
+                // fire on the ≈10% decay this sweep applies
+                decay_threshold: 0.05,
+                ..HealthMonitor::standard()
+            }),
+        },
+        other => unreachable!("unknown policy label {other}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cli = Cli::parse();
+    let exp = membit_bench::setup_experiment(&cli);
+    let (vgg, params) = exp.model();
+
+    let subset = match cli.scale {
+        membit_bench::Scale::Quick => 100,
+        membit_bench::Scale::Full => 200,
+    };
+    let batch = 20usize;
+    let test = exp.test_set();
+    let n = subset.min(test.len());
+    let (images, _) = test.batch(0, n)?;
+    let subset_set = Dataset::new(
+        Tensor::from_vec(images.as_slice().to_vec(), images.shape())?,
+        test.labels()[..n].to_vec(),
+        test.num_classes(),
+    )?;
+
+    let stuck_rates = [0.0f32, 0.005, 0.01, 0.02, 0.05];
+    let policies = ["none", "remap", "remap+refresh"];
+
+    println!(
+        "fault-aware deployment ablation ({n} images, {AGE_HOURS} h drift, \
+         stuck rate applied per polarity)"
+    );
+    println!(
+        "{:>10} | {:>8} {:>8} {:>14} | {:>8} {:>8} {:>8}",
+        "stuck", "policy", "acc %", "detected", "fixed", "stuck", "refresh"
+    );
+
+    let mut rows: Vec<FaultAblationRow> = Vec::new();
+    for &rate in &stuck_rates {
+        let mut xbar = XbarConfig::ideal();
+        xbar.noise.device.on_off_ratio = 20.0;
+        xbar.noise.device.d2d_sigma = 0.05;
+        xbar.noise.device.c2c_sigma = 0.02;
+        xbar.noise.device.stuck_on_rate = rate;
+        xbar.noise.device.stuck_off_rate = rate;
+        for policy in policies {
+            let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Device);
+            let mut device = DeviceVgg::deploy(
+                vgg,
+                params,
+                &DeviceEvalConfig {
+                    xbar,
+                    pulses: vec![8; 7],
+                    act_levels: 9,
+                    policy: policy_for(policy, batch as u64),
+                },
+                &mut rng,
+            )?;
+            device.age(AGE_HOURS, NU, NU_SIGMA, &mut rng);
+            let (acc, stats) = device.evaluate(&subset_set, batch, &mut rng)?;
+            let report = *device.recovery_report();
+            println!(
+                "{:>10} | {:>8} {:>8.1} {:>14} | {:>8} {:>8} {:>8}",
+                rate,
+                policy,
+                acc * 100.0,
+                report.faults_detected,
+                report.cells_recovered,
+                stats.unrecoverable_cells,
+                stats.refreshes
+            );
+            rows.push(FaultAblationRow {
+                policy: policy.to_string(),
+                stuck_rate: rate,
+                accuracy: acc * 100.0,
+                faults_detected: report.faults_detected,
+                cells_recovered: report.cells_recovered,
+                unrecoverable_cells: stats.unrecoverable_cells,
+                degraded_tiles: stats.degraded_tiles,
+                refreshes: stats.refreshes,
+            });
+        }
+    }
+
+    // acceptance check: at 1% stuck, remap+refresh must claw back at
+    // least half the accuracy the unprotected deployment loses relative
+    // to its own fault-free point
+    let acc = |policy: &str, rate: f32| {
+        rows.iter()
+            .find(|r| r.policy == policy && (r.stuck_rate - rate).abs() < 1e-9)
+            .map(|r| r.accuracy)
+            .unwrap_or(f32::NAN)
+    };
+    let baseline_clean = acc("none", 0.0);
+    let baseline_faulty = acc("none", 0.01);
+    let protected = acc("remap+refresh", 0.01);
+    let lost = baseline_clean - baseline_faulty;
+    let recovered = protected - baseline_faulty;
+    println!();
+    println!(
+        "at 1% stuck: unprotected loses {lost:.1} pts, remap+refresh recovers \
+         {recovered:.1} pts ({:.0}% of the loss)",
+        if lost.abs() > 1e-6 {
+            100.0 * recovered / lost
+        } else {
+            100.0
+        }
+    );
+    if recovered < 0.5 * lost {
+        println!("WARNING: recovery below the ≥50% target");
+    }
+
+    let path = results_dir().join("ablation_fault.csv");
+    let records: Vec<Vec<String>> = rows.iter().map(FaultAblationRow::to_record).collect();
+    write_csv(&path, &FaultAblationRow::CSV_HEADER, &records)?;
+    println!("# wrote {}", path.display());
+    Ok(())
+}

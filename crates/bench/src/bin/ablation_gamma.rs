@@ -5,10 +5,12 @@
 //! parameter γ"); this sweep makes the trade-off curve explicit and is
 //! how the γ defaults of `table1`/`table2` were picked.
 
+use std::error::Error;
+
 use membit_bench::{gbo_epochs, results_dir, Cli};
 use membit_core::{write_csv, GboConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
     let mut exp = membit_bench::setup_experiment(&cli);
@@ -25,10 +27,8 @@ fn main() {
     for &gamma in &gammas {
         let mut cfg = GboConfig::paper(gamma, cli.seed);
         cfg.epochs = gbo_epochs(cli.scale);
-        let result = exp.run_gbo(sigma, cfg).expect("gbo search");
-        let acc = exp
-            .eval_pla(sigma, &result.selected_pulses)
-            .expect("eval");
+        let result = exp.run_gbo(sigma, cfg)?;
+        let acc = exp.eval_pla(sigma, &result.selected_pulses)?;
         println!(
             "{:>9} {:>10.2} {:<26} {:>8.2}",
             gamma,
@@ -55,7 +55,7 @@ fn main() {
         &path,
         &["gamma", "avg_pulses", "pulses", "accuracy_pct"],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

@@ -7,10 +7,12 @@
 //! `fan_in · MSE(q_k)` term; this ablation compares default vs
 //! snap-aware searches at matched γ.
 
+use std::error::Error;
+
 use membit_bench::{gbo_epochs, results_dir, Cli};
 use membit_core::{write_csv, GboConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
     let mut exp = membit_bench::setup_experiment(&cli);
@@ -29,10 +31,8 @@ fn main() {
             if aware {
                 cfg.snap_error_fan_in = Some(fan_ins.clone());
             }
-            let result = exp.run_gbo(sigma, cfg).expect("gbo search");
-            let acc = exp
-                .eval_pla(sigma, &result.selected_pulses)
-                .expect("eval");
+            let result = exp.run_gbo(sigma, cfg)?;
+            let acc = exp.eval_pla(sigma, &result.selected_pulses)?;
             println!(
                 "{:<12} {:>9} {:>10.2} {:<26} {:>8.2}",
                 name,
@@ -59,7 +59,7 @@ fn main() {
         &path,
         &["search", "gamma", "avg_pulses", "pulses", "accuracy_pct"],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

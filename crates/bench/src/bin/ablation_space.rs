@@ -6,10 +6,12 @@
 //! integer-ensemble space and over the PLA-enabled fine grid at matched
 //! γ, comparing the (avg pulses, accuracy) operating points.
 
+use std::error::Error;
+
 use membit_bench::{gbo_epochs, results_dir, Cli};
 use membit_core::{write_csv, GboConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
     let mut exp = membit_bench::setup_experiment(&cli);
@@ -29,10 +31,8 @@ fn main() {
             let mut cfg = GboConfig::paper(gamma, cli.seed);
             cfg.omega = omega.clone();
             cfg.epochs = gbo_epochs(cli.scale);
-            let result = exp.run_gbo(sigma, cfg).expect("gbo search");
-            let acc = exp
-                .eval_pla(sigma, &result.selected_pulses)
-                .expect("eval");
+            let result = exp.run_gbo(sigma, cfg)?;
+            let acc = exp.eval_pla(sigma, &result.selected_pulses)?;
             println!(
                 "{:<18} {:>9} {:>10.2} {:<26} {:>8.2}",
                 name,
@@ -61,7 +61,7 @@ fn main() {
         &path,
         &["space", "gamma", "avg_pulses", "pulses", "accuracy_pct"],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

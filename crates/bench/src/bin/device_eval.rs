@@ -6,13 +6,15 @@
 //! reports hardware event counts / energy / latency from the first-order
 //! model.
 
+use std::error::Error;
+
 use membit_bench::{results_dir, Cli};
-use membit_core::{write_csv, DeviceEvalConfig, DeviceVgg};
+use membit_core::{write_csv, DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 use membit_data::Dataset;
 use membit_tensor::{Rng, RngStream, Tensor};
 use membit_xbar::{EnergyModel, XbarConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let exp = membit_bench::setup_experiment(&cli);
     let (vgg, params) = exp.model();
@@ -27,16 +29,15 @@ fn main() {
     let test = exp.test_set();
     let n = subset.min(test.len());
     let images = {
-        let (batch, _) = test.batch(0, n).expect("subset batch");
+        let (batch, _) = test.batch(0, n)?;
         batch
     };
     let labels = test.labels()[..n].to_vec();
     let subset_set = Dataset::new(
-        Tensor::from_vec(images.as_slice().to_vec(), images.shape()).expect("copy"),
+        Tensor::from_vec(images.as_slice().to_vec(), images.shape())?,
         labels,
         test.num_classes(),
-    )
-    .expect("subset dataset");
+    )?;
 
     // σ_abs for the functional-output-noise knob of the device: reuse the
     // calibration so device σ matches the paper-σ semantics. The engine
@@ -77,20 +78,18 @@ fn main() {
     ];
     for (name, xbar, pulses) in configs {
         let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Device);
-        let device = DeviceVgg::deploy(
+        let mut device = DeviceVgg::deploy(
             vgg,
             params,
             &DeviceEvalConfig {
                 xbar,
                 pulses: pulses.clone(),
                 act_levels: 9,
+                policy: DeploymentPolicy::default(),
             },
             &mut rng,
-        )
-        .expect("deploy");
-        let (acc, stats) = device
-            .evaluate(&subset_set, 20, &mut rng)
-            .expect("device eval");
+        )?;
+        let (acc, stats) = device.evaluate(&subset_set, 20, &mut rng)?;
         let uj = energy.energy_pj(&stats) / 1e6;
         let ms = energy.latency_ns(&stats) / 1e6;
         println!(
@@ -128,7 +127,7 @@ fn main() {
             "latency_ms",
         ],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

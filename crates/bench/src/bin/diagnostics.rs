@@ -3,6 +3,8 @@
 //! premise behind PLA's "activations converge to ±1"), the zero-noise
 //! cost of each PLA snap, and the Baseline noise ladder.
 
+use std::error::Error;
+
 use membit_autograd::{Tape, VarId};
 use membit_bench::Cli;
 use membit_nn::{MvmNoiseHook, Phase};
@@ -31,7 +33,7 @@ impl MvmNoiseHook for SaturationProbe {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let mut exp = membit_bench::setup_experiment(&cli);
     let layers = exp.calibration().layers();
@@ -65,8 +67,7 @@ fn main() {
                 x,
                 Phase::Eval,
                 &mut probe,
-            )
-            .expect("forward");
+            )?;
         }
     }
     println!();
@@ -82,14 +83,15 @@ fn main() {
     println!();
     println!("zero-noise PLA snap cost (accuracy at σ = 0):");
     for q in [8usize, 10, 12, 14, 16] {
-        let acc = exp.eval_pla(0.0, &vec![q; layers]).expect("eval");
+        let acc = exp.eval_pla(0.0, &vec![q; layers])?;
         println!("  q = {q:>2}: {acc:.2}%");
     }
 
     println!();
     println!("Baseline (p = 8) noise ladder:");
     for sigma in [0.0f32, 5.0, 10.0, 15.0, 20.0, 25.0] {
-        let acc = exp.eval_pla(sigma, &vec![8; layers]).expect("eval");
+        let acc = exp.eval_pla(sigma, &vec![8; layers])?;
         println!("  σ = {sigma:>4}: {acc:.2}%");
     }
+    Ok(())
 }

@@ -9,6 +9,8 @@
 //! against the public [`MvmNoiseHook`] API, demonstrating how downstream
 //! users add their own encoding models.
 
+use std::error::Error;
+
 use membit_autograd::{Tape, VarId};
 use membit_bench::{results_dir, Cli};
 use membit_core::write_csv;
@@ -44,7 +46,7 @@ impl MvmNoiseHook for BitSlicingNoise {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let mut exp = membit_bench::setup_experiment(&cli);
     let repeats = exp.config().eval_repeats;
@@ -61,7 +63,7 @@ fn main() {
     for pulses in [4usize, 8, 16] {
         let mut accs = Vec::new();
         for sigma in [10.0f32, 15.0, 20.0] {
-            accs.push(exp.eval_pla(sigma, &[pulses; 7]).expect("eval"));
+            accs.push(exp.eval_pla(sigma, &[pulses; 7])?);
         }
         println!(
             "{:<28} {:>7} {:>8.1} {:>8.1} {:>8.1}",
@@ -88,12 +90,10 @@ fn main() {
                     sigma_abs.clone(),
                     vec![1; 7],
                     Rng::from_seed(cli.seed ^ (rep + 1)).stream(RngStream::Noise),
-                )
-                .expect("hook");
+                )?;
                 let test = exp.test_set().clone();
                 let (vgg, params) = exp.model_mut();
-                acc += membit_core::evaluate_with_hook(vgg, params, &test, batch, &mut hook)
-                    .expect("eval");
+                acc += membit_core::evaluate_with_hook(vgg, params, &test, batch, &mut hook)?;
             }
             accs.push(acc / repeats as f32 * 100.0);
         }
@@ -124,8 +124,7 @@ fn main() {
                 };
                 let test = exp.test_set().clone();
                 let (vgg, params) = exp.model_mut();
-                acc += membit_core::evaluate_with_hook(vgg, params, &test, batch, &mut hook)
-                    .expect("eval");
+                acc += membit_core::evaluate_with_hook(vgg, params, &test, batch, &mut hook)?;
             }
             accs.push(acc / repeats as f32 * 100.0);
         }
@@ -156,7 +155,7 @@ fn main() {
         &path,
         &["encoding", "pulses", "acc_s10", "acc_s15", "acc_s20"],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

@@ -2,35 +2,36 @@
 //! for bit slicing vs. thermometer coding — closed form (Eqs. 2–3) plus a
 //! Monte-Carlo validation on the device-level crossbar simulator.
 
+use std::error::Error;
+
 use membit_bench::{results_dir, Cli};
 use membit_core::write_csv;
 use membit_encoding::variance::fig1b_series;
 use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
-use membit_tensor::{Rng, RngStream, Tensor};
+use membit_tensor::{Rng, RngStream, Tensor, TensorError};
 use membit_xbar::{CrossbarLinear, XbarConfig};
 
 /// Empirical output variance of an encoder on a noisy crossbar.
-fn monte_carlo_variance(encoder: &dyn Encoder, sigma: f32, trials: usize, rng: &mut Rng) -> f64 {
+fn monte_carlo_variance(
+    encoder: &dyn Encoder,
+    sigma: f32,
+    trials: usize,
+    rng: &mut Rng,
+) -> Result<f64, TensorError> {
     let w = Tensor::ones(&[1, 4]);
-    let xbar = CrossbarLinear::program(&w, &XbarConfig::functional(sigma), rng)
-        .expect("program 1x4 crossbar");
+    let xbar = CrossbarLinear::program(&w, &XbarConfig::functional(sigma), rng)?;
     let x = Tensor::zeros(&[1, 4]);
     let train = encoder.encode(&x);
-    let clean: f32 = train
-        .decode()
-        .expect("decode")
-        .matmul(&w.transpose().expect("transpose"))
-        .expect("matmul")
-        .at(0);
+    let clean: f32 = train.decode()?.matmul(&w.transpose()?)?.at(0);
     let mut sum = 0.0f64;
     let mut sum_sq = 0.0f64;
     for _ in 0..trials {
-        let y = f64::from(xbar.execute(&train, rng).expect("execute").at(0) - clean);
+        let y = f64::from(xbar.execute(&train, rng)?.at(0) - clean);
         sum += y;
         sum_sq += y * y;
     }
     let mean = sum / trials as f64;
-    sum_sq / trials as f64 - mean * mean
+    Ok(sum_sq / trials as f64 - mean * mean)
 }
 
 /// Object-safe encoding shim over the two schemes.
@@ -48,7 +49,7 @@ impl Encoder for BitSlicing {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let max_bits = 8usize;
     let mc_trials = match cli.scale {
@@ -66,11 +67,11 @@ fn main() {
     for row in fig1b_series(max_bits) {
         // Monte-Carlo only where pulse counts stay reasonable
         let (bs_mc, tc_mc) = if row.bits <= 5 {
-            let bs = BitSlicing::new(row.bs_pulses).expect("bits in range");
-            let tc = Thermometer::new(row.tc_pulses).expect("pulses > 0");
+            let bs = BitSlicing::new(row.bs_pulses)?;
+            let tc = Thermometer::new(row.tc_pulses)?;
             (
-                monte_carlo_variance(&bs, 1.0, mc_trials, &mut rng),
-                monte_carlo_variance(&tc, 1.0, mc_trials, &mut rng),
+                monte_carlo_variance(&bs, 1.0, mc_trials, &mut rng)?,
+                monte_carlo_variance(&tc, 1.0, mc_trials, &mut rng)?,
             )
         } else {
             (f64::NAN, f64::NAN)
@@ -102,7 +103,9 @@ fn main() {
     println!("Paper's qualitative claims, checked:");
     let series = fig1b_series(max_bits);
     let tc_wins = series[1..].iter().all(|r| r.tc_variance < r.bs_variance);
-    let bs_floor = (series.last().expect("nonempty").bs_variance - 1.0 / 3.0).abs() < 0.01;
+    let bs_floor = series
+        .last()
+        .is_some_and(|r| (r.bs_variance - 1.0 / 3.0).abs() < 0.01);
     println!("  thermometer < bit slicing for ≥ 2 bits: {tc_wins}");
     println!("  bit-slicing variance flattens near σ²/3: {bs_floor}");
 
@@ -119,7 +122,7 @@ fn main() {
             "tc_monte_carlo",
         ],
         &rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

@@ -1,13 +1,15 @@
 //! Fig. 2: layer-wise noise sensitivity — Gaussian noise injected at one
 //! crossbar layer at a time, accuracy per target layer.
 
+use std::error::Error;
+
 use membit_bench::{results_dir, Cli};
 use membit_core::{layer_sensitivity, write_csv};
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let mut exp = membit_bench::setup_experiment(&cli);
-    let clean = exp.eval_clean().expect("clean eval");
+    let clean = exp.eval_clean()?;
     println!("clean accuracy: {clean:.2}%");
     println!();
     println!("Fig. 2 — accuracy with N(0, σ²) injected at one layer only");
@@ -22,8 +24,7 @@ fn main() {
             let test = exp.test_set().clone();
             let calibrated = sigma_abs.clone();
             let (vgg, p) = exp.model_mut();
-            layer_sensitivity(vgg, p, &test, &calibrated, batch, repeats, seed)
-                .expect("sensitivity")
+            layer_sensitivity(vgg, p, &test, &calibrated, batch, repeats, seed)?
         };
         let pretty: Vec<String> = series.iter().map(|a| format!("{:.1}", a * 100.0)).collect();
         println!("σ = {sigma:>4}: [{}]%", pretty.join(", "));
@@ -51,6 +52,7 @@ fn main() {
     }
 
     let path = results_dir().join("fig2.csv");
-    write_csv(&path, &["sigma", "target_layer", "accuracy_pct"], &rows).expect("write csv");
+    write_csv(&path, &["sigma", "target_layer", "accuracy_pct"], &rows)?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

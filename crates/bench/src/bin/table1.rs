@@ -5,6 +5,8 @@
 //! rows per σ use two γ values (CLI `--gamma-low` / `--gamma-high`,
 //! targeting ≈ PLA₁₀- and ≈ PLA₁₄-level latency like the paper).
 
+use std::error::Error;
+
 use membit_bench::{gbo_epochs, results_dir, Cli};
 use membit_core::{write_csv, GboConfig, Table1Row};
 
@@ -41,7 +43,7 @@ fn paper_acc(sigma: f32, method: &str) -> f32 {
         .unwrap_or(f32::NAN)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     // Like the paper, the two GBO rows per σ are the solutions whose
     // latency lands nearest PLA₁₀ and PLA₁₄; γ is swept per σ because the
@@ -54,7 +56,7 @@ fn main() {
     let mut exp = membit_bench::setup_experiment(&cli);
     let layers = 7usize;
 
-    let clean = exp.eval_clean().expect("clean eval");
+    let clean = exp.eval_clean()?;
     println!("clean (no crossbar noise): {clean:.2}%   [paper: 90.80%]");
     println!();
     println!(
@@ -73,7 +75,7 @@ fn main() {
             ("PLA_16", 16),
         ] {
             let pulses = vec![q; layers];
-            let acc = exp.eval_pla(sigma, &pulses).expect("pla eval");
+            let acc = exp.eval_pla(sigma, &pulses)?;
             let row = Table1Row {
                 method: label.to_string(),
                 sigma,
@@ -98,7 +100,7 @@ fn main() {
         for &gamma in &gamma_grid {
             let mut cfg = GboConfig::paper(gamma, cli.seed);
             cfg.epochs = gbo_epochs(cli.scale);
-            let result = exp.run_gbo(sigma, cfg).expect("gbo search");
+            let result = exp.run_gbo(sigma, cfg)?;
             candidates.push((gamma, result));
         }
         for (label, target) in [("GBO_lo", 10.0f32), ("GBO_hi", 14.0)] {
@@ -107,12 +109,10 @@ fn main() {
                 .min_by(|a, b| {
                     let da = (a.1.avg_pulses() - target).abs();
                     let db = (b.1.avg_pulses() - target).abs();
-                    da.partial_cmp(&db).expect("finite")
+                    da.total_cmp(&db)
                 })
-                .expect("nonempty grid");
-            let acc = exp
-                .eval_pla(sigma, &result.selected_pulses)
-                .expect("gbo eval");
+                .ok_or("empty γ grid")?;
+            let acc = exp.eval_pla(sigma, &result.selected_pulses)?;
             let row = Table1Row {
                 method: format!("{label} (γ={gamma})"),
                 sigma,
@@ -168,7 +168,7 @@ fn main() {
         &path,
         &["method", "sigma", "pulses", "avg_pulses", "accuracy_pct"],
         &csv_rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

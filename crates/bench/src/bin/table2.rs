@@ -3,6 +3,8 @@
 //! Rows: Baseline, NIA, GBO, NIA + GBO, NIA + PLA — accuracy and average
 //! pulse count per σ ∈ {10, 15, 20}.
 
+use std::error::Error;
+
 use membit_bench::{gbo_epochs, nia_epochs, results_dir, Cli};
 use membit_core::{write_csv, GboConfig, NiaConfig, Table2Row};
 
@@ -35,7 +37,7 @@ fn gbo_near_ten(
     gammas: &[f32],
     epochs: usize,
     seed: u64,
-) -> membit_core::GboResult {
+) -> Result<membit_core::GboResult, Box<dyn Error>> {
     let score = |r: &membit_core::GboResult| {
         let d = (r.avg_pulses() - 10.0).abs();
         if r.avg_pulses() < 9.0 {
@@ -48,7 +50,7 @@ fn gbo_near_ten(
     for &gamma in gammas {
         let mut cfg = GboConfig::paper(gamma, seed);
         cfg.epochs = epochs;
-        let result = exp.run_gbo(sigma, cfg).expect("gbo search");
+        let result = exp.run_gbo(sigma, cfg)?;
         let better = match &best {
             Some(b) => score(&result) < score(b),
             None => true,
@@ -57,10 +59,10 @@ fn gbo_near_ten(
             best = Some(result);
         }
     }
-    best.expect("nonempty gamma grid")
+    best.ok_or_else(|| "empty γ grid".into())
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let gammas: Vec<f32> = match cli.f32_opt("--gamma") {
         Some(g) => vec![g],
@@ -82,33 +84,28 @@ fn main() {
         println!("# σ = {sigma}");
         // Baseline and plain GBO run on the clean-pretrained weights.
         let mut base = exp.fork();
-        let acc_baseline = base.eval_pla(sigma, &[8; 7]).expect("baseline eval");
+        let acc_baseline = base.eval_pla(sigma, &[8; 7])?;
         rows[0].cells.push((acc_baseline, 8.0));
 
-        let gbo = gbo_near_ten(&mut base, sigma, &gammas, gbo_epochs(cli.scale), cli.seed);
+        let gbo = gbo_near_ten(&mut base, sigma, &gammas, gbo_epochs(cli.scale), cli.seed)?;
         println!("#   GBO pulses: {:?}", gbo.selected_pulses);
-        let acc_gbo = base
-            .eval_pla(sigma, &gbo.selected_pulses)
-            .expect("gbo eval");
+        let acc_gbo = base.eval_pla(sigma, &gbo.selected_pulses)?;
         rows[2].cells.push((acc_gbo, gbo.avg_pulses()));
 
         // NIA variants fine-tune a fork of the weights at this σ.
         let mut nia = exp.fork();
-        nia.run_nia(sigma, &NiaConfig::new(nia_epochs(cli.scale), cli.seed))
-            .expect("nia finetune");
-        let acc_nia = nia.eval_pla(sigma, &[8; 7]).expect("nia eval");
+        nia.run_nia(sigma, &NiaConfig::new(nia_epochs(cli.scale), cli.seed))?;
+        let acc_nia = nia.eval_pla(sigma, &[8; 7])?;
         rows[1].cells.push((acc_nia, 8.0));
 
         // NIA + GBO: search the encoding on the NIA-adapted weights.
-        let nia_gbo = gbo_near_ten(&mut nia, sigma, &gammas, gbo_epochs(cli.scale), cli.seed);
+        let nia_gbo = gbo_near_ten(&mut nia, sigma, &gammas, gbo_epochs(cli.scale), cli.seed)?;
         println!("#   NIA+GBO pulses: {:?}", nia_gbo.selected_pulses);
-        let acc_nia_gbo = nia
-            .eval_pla(sigma, &nia_gbo.selected_pulses)
-            .expect("nia+gbo eval");
+        let acc_nia_gbo = nia.eval_pla(sigma, &nia_gbo.selected_pulses)?;
         rows[3].cells.push((acc_nia_gbo, nia_gbo.avg_pulses()));
 
         // NIA + PLA: uniform 10 pulses on the NIA weights.
-        let acc_nia_pla = nia.eval_pla(sigma, &vec![10; layers]).expect("nia+pla eval");
+        let acc_nia_pla = nia.eval_pla(sigma, &vec![10; layers])?;
         rows[4].cells.push((acc_nia_pla, 10.0));
     }
 
@@ -169,7 +166,7 @@ fn main() {
             "pulses_s20",
         ],
         &csv_rows,
-    )
-    .expect("write csv");
+    )?;
     println!("# wrote {}", path.display());
+    Ok(())
 }

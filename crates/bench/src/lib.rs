@@ -54,12 +54,14 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `std::env::args()`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
+    /// Parses `std::env::args()`, exiting with a usage message (status 2)
+    /// on malformed arguments.
     pub fn parse() -> Self {
+        let usage = |msg: &str| -> ! {
+            eprintln!("error: {msg}");
+            eprintln!("usage: <bin> [--scale quick|full] [--seed <u64>] [binary-specific options]");
+            std::process::exit(2);
+        };
         let mut scale = Scale::Quick;
         let mut seed = 2022u64;
         let mut rest = Vec::new();
@@ -67,18 +69,20 @@ impl Cli {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = args.next().expect("--scale needs quick|full");
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--scale needs quick|full"));
                     scale = match v.as_str() {
                         "quick" => Scale::Quick,
                         "full" => Scale::Full,
-                        other => panic!("unknown scale {other:?}; use quick|full"),
+                        other => usage(&format!("unknown scale {other:?}; use quick|full")),
                     };
                 }
                 "--seed" => {
                     seed = args
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
                 other => rest.push(other.to_string()),
             }

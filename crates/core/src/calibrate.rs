@@ -38,7 +38,7 @@ impl NoiseCalibration {
                 "calibration needs at least one layer".into(),
             ));
         }
-        if !(unit > 0.0) {
+        if unit <= 0.0 || unit.is_nan() {
             return Err(TensorError::InvalidArgument(format!(
                 "sigma unit must be positive, got {unit}"
             )));

@@ -310,7 +310,7 @@ impl GboTrainer {
         let mut per_branch_mse = Vec::with_capacity(m);
         for &n in &self.config.omega {
             let q = (n * self.config.base_pulses as f32).round().max(1.0) as usize;
-            let mse = if q % self.config.base_pulses == 0 {
+            let mse = if q.is_multiple_of(self.config.base_pulses) {
                 0.0
             } else {
                 let pla = membit_encoding::pla::PlaThermometer::new(levels, q)?;

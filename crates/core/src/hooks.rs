@@ -35,7 +35,7 @@ impl GaussianMvmNoise {
                 pulses.len()
             )));
         }
-        if pulses.iter().any(|&p| p == 0) {
+        if pulses.contains(&0) {
             return Err(TensorError::InvalidArgument(
                 "pulse counts must be nonzero".into(),
             ));
@@ -104,7 +104,7 @@ impl PlaHook {
                 pulses.len()
             )));
         }
-        if pulses.iter().any(|&p| p == 0) || act_levels < 2 {
+        if pulses.contains(&0) || act_levels < 2 {
             return Err(TensorError::InvalidArgument(
                 "pulse counts must be nonzero and act_levels ≥ 2".into(),
             ));
@@ -152,7 +152,7 @@ impl MvmNoiseHook for PlaHook {
 
     fn encode(&mut self, tape: &mut Tape, layer: usize, input: VarId) -> Result<VarId> {
         let q = self.pulses[layer];
-        if q == self.act_levels - 1 || q % (self.act_levels - 1) == 0 {
+        if q == self.act_levels - 1 || q.is_multiple_of(self.act_levels - 1) {
             // exact representation (the base code or an integer-ensemble
             // multiple of it) — no approximation error
             return Ok(input);

@@ -68,13 +68,13 @@ mod sensitivity;
 mod trainer;
 
 pub use calibrate::{calibrate_noise, NoiseCalibration};
-pub use device_eval::{DeviceEvalConfig, DeviceVgg};
+pub use device_eval::{DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 pub use gbo::{GboConfig, GboResult, GboTrainer};
 pub use hooks::{GaussianMvmNoise, PlaHook, RmsRecorder, SingleLayerNoise};
 pub use model::CrossbarModel;
 pub use nia::{nia_finetune, NiaConfig};
 pub use pipeline::{Experiment, ExperimentConfig};
-pub use report::{markdown_table, write_csv, Table1Row, Table2Row};
+pub use report::{markdown_table, write_csv, FaultAblationRow, Table1Row, Table2Row};
 pub use sensitivity::layer_sensitivity;
 pub use trainer::{
     evaluate, evaluate_with_hook, pretrain, pretrain_with_validation, TrainConfig, TrainReport,

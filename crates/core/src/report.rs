@@ -37,6 +37,57 @@ pub struct Table2Row {
     pub cells: Vec<(f32, f32)>,
 }
 
+/// One row of the fault-tolerance ablation: accuracy and recovery
+/// outcome of a deployment at one stuck-fault rate under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAblationRow {
+    /// Deployment policy label (`none`, `remap`, `remap+refresh`).
+    pub policy: String,
+    /// Per-polarity stuck-cell probability (applied to both stuck-ON and
+    /// stuck-OFF).
+    pub stuck_rate: f32,
+    /// Classification accuracy in percent.
+    pub accuracy: f32,
+    /// Faults the march test detected across all engines.
+    pub faults_detected: u64,
+    /// Detected cells brought back within tolerance.
+    pub cells_recovered: u64,
+    /// Cells still faulty after the full recovery pipeline.
+    pub unrecoverable_cells: u64,
+    /// Tiles deployed with at least one unrecoverable cell.
+    pub degraded_tiles: u64,
+    /// Drift refreshes triggered during evaluation.
+    pub refreshes: u64,
+}
+
+impl FaultAblationRow {
+    /// CSV header matching [`FaultAblationRow::to_record`].
+    pub const CSV_HEADER: [&'static str; 8] = [
+        "policy",
+        "stuck_rate",
+        "accuracy_pct",
+        "faults_detected",
+        "cells_recovered",
+        "unrecoverable_cells",
+        "degraded_tiles",
+        "refreshes",
+    ];
+
+    /// Renders the row as CSV fields in [`Self::CSV_HEADER`] order.
+    pub fn to_record(&self) -> Vec<String> {
+        vec![
+            self.policy.clone(),
+            format!("{}", self.stuck_rate),
+            format!("{:.2}", self.accuracy),
+            self.faults_detected.to_string(),
+            self.cells_recovered.to_string(),
+            self.unrecoverable_cells.to_string(),
+            self.degraded_tiles.to_string(),
+            self.refreshes.to_string(),
+        ]
+    }
+}
+
 /// Renders rows as a GitHub-flavored markdown table.
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -100,6 +151,24 @@ mod tests {
             accuracy: 83.94,
         };
         assert_eq!(row.pulses_string(), "[8, 8, 8]");
+    }
+
+    #[test]
+    fn fault_row_record_matches_header() {
+        let row = FaultAblationRow {
+            policy: "remap+refresh".into(),
+            stuck_rate: 0.01,
+            accuracy: 71.25,
+            faults_detected: 42,
+            cells_recovered: 40,
+            unrecoverable_cells: 2,
+            degraded_tiles: 1,
+            refreshes: 3,
+        };
+        let rec = row.to_record();
+        assert_eq!(rec.len(), FaultAblationRow::CSV_HEADER.len());
+        assert_eq!(rec[0], "remap+refresh");
+        assert_eq!(rec[2], "71.25");
     }
 
     #[test]

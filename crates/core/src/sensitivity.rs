@@ -30,12 +30,12 @@ pub fn layer_sensitivity(
 ) -> Result<Vec<f32>> {
     let layers = model.crossbar_layers().min(sigma_abs.len());
     let mut out = Vec::with_capacity(layers);
-    for layer in 0..layers {
+    for (layer, &sig) in sigma_abs.iter().enumerate().take(layers) {
         let mut acc_sum = 0.0f32;
         for rep in 0..repeats.max(1) {
             let rng = Rng::from_seed(seed ^ (rep as u64) << 32 | layer as u64)
                 .stream(RngStream::Noise);
-            let mut hook = SingleLayerNoise::new(layer, sigma_abs[layer], rng);
+            let mut hook = SingleLayerNoise::new(layer, sig, rng);
             acc_sum += evaluate_with_hook(model, params, data, batch_size, &mut hook)?;
         }
         out.push(acc_sum / repeats.max(1) as f32);

@@ -64,7 +64,7 @@ fn snap_awareness_biases_away_from_lossy_budgets() {
         .expect("search");
     let selected = result.selected_pulses[0];
     assert!(
-        selected % 8 == 0,
+        selected.is_multiple_of(8),
         "snap-aware search with no noise picked lossy budget {selected}; λ = {:?}",
         result.lambdas[0]
     );

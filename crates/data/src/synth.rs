@@ -174,9 +174,9 @@ fn build_split(
     let n = cfg.num_classes * per_class;
     let mut data = Vec::with_capacity(n * cfg.pixels());
     let mut labels = Vec::with_capacity(n);
-    for class in 0..cfg.num_classes {
+    for (class, proto) in protos.iter().enumerate().take(cfg.num_classes) {
         for _ in 0..per_class {
-            data.extend(sample(cfg, &protos[class], rng));
+            data.extend(sample(cfg, proto, rng));
             labels.push(class);
         }
     }
@@ -252,8 +252,8 @@ mod tests {
         for i in 0..train.len() {
             let y = train.labels()[i];
             counts[y] += 1;
-            for j in 0..per {
-                means[y][j] += train.images().at(i * per + j);
+            for (j, m) in means[y].iter_mut().enumerate() {
+                *m += train.images().at(i * per + j);
             }
         }
         for (m, &c) in means.iter_mut().zip(&counts) {

@@ -27,6 +27,7 @@ pub struct Conv2d {
 impl Conv2d {
     /// Creates the layer, registering its kernel under `name` with
     /// Kaiming-scaled Gaussian init.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         in_channels: usize,

@@ -99,7 +99,7 @@ impl ResNetConfig {
             ));
         }
         let d = 1usize << (self.stages.len() - 1);
-        if self.in_h % d != 0 || self.in_w % d != 0 {
+        if !self.in_h.is_multiple_of(d) || !self.in_w.is_multiple_of(d) {
             return Err(TensorError::InvalidArgument(format!(
                 "input {}x{} not divisible by inter-stage pool factor {d}",
                 self.in_h, self.in_w

@@ -103,15 +103,14 @@ pub fn matmul_into(out: &mut Tensor, a: &Tensor, b: &Tensor, opts: MatmulOptions
 
     let rows_per = m.div_ceil(threads);
     let (asl, bsl) = (a.as_slice(), b.as_slice());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (ablock, oblock) in asl
             .chunks(rows_per * k)
             .zip(out.as_mut_slice().chunks_mut(rows_per * n))
         {
-            scope.spawn(move |_| kernel(oblock, ablock, bsl, k, n));
+            scope.spawn(move || kernel(oblock, ablock, bsl, k, n));
         }
-    })
-    .expect("matmul worker panicked");
+    });
     Ok(())
 }
 

@@ -227,9 +227,8 @@ impl Tensor {
         let mut out = Vec::with_capacity(self.len());
         let (asl, bsl) = (self.as_slice(), per_channel.as_slice());
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, &y) in bsl.iter().enumerate().take(c) {
                 let base = (ni * c + ci) * inner;
-                let y = bsl[ci];
                 out.extend(asl[base..base + inner].iter().map(|&x| f(x, y)));
             }
         }

@@ -106,9 +106,9 @@ impl Tensor {
         let mut out = vec![0.0f32; c];
         let src = self.as_slice();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, o) in out.iter_mut().enumerate() {
                 let base = (ni * c + ci) * inner;
-                out[ci] += src[base..base + inner].iter().sum::<f32>();
+                *o += src[base..base + inner].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(out, &[c])
@@ -139,10 +139,10 @@ impl Tensor {
         let mut out = vec![0.0f32; c];
         let src = self.as_slice();
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, o) in out.iter_mut().enumerate() {
                 let base = (ni * c + ci) * inner;
                 let m = mean.at(ci);
-                out[ci] += src[base..base + inner]
+                *o += src[base..base + inner]
                     .iter()
                     .map(|&x| (x - m) * (x - m))
                     .sum::<f32>();

@@ -5,9 +5,6 @@
 //! an independent substream derived with [`Rng::stream`], so adding noise
 //! samples in one place never perturbs the data another component sees.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
 use crate::Tensor;
 
 /// Named substreams derived from a root seed.
@@ -39,8 +36,11 @@ impl RngStream {
 
 /// A seeded random number generator with Gaussian sampling.
 ///
-/// Gaussian values come from the Box–Muller transform so the workspace does
-/// not need `rand_distr`.
+/// The core generator is xoshiro256++ seeded through splitmix64 — both
+/// implemented in-crate so the workspace has no external RNG dependency
+/// and results are bit-reproducible across platforms. Gaussian values
+/// come from the Box–Muller transform so the workspace does not need
+/// `rand_distr`.
 ///
 /// ```
 /// use membit_tensor::{Rng, RngStream};
@@ -50,19 +50,56 @@ impl RngStream {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
     cached_normal: Option<f32>,
+}
+
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl Rng {
     /// Creates a generator from a root seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut z = seed;
+        let state = [
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+            splitmix64(&mut z),
+        ];
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state,
             seed,
             cached_normal: None,
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Derives an independent generator for a named purpose.
@@ -86,7 +123,7 @@ impl Rng {
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        lo + (hi - lo) * self.inner.gen::<f32>()
+        lo + (hi - lo) * self.next_f32()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -96,12 +133,14 @@ impl Rng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // widening-multiply range reduction (Lemire): unbiased enough for
+        // simulation purposes and branch-free
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn coin(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.next_f32() < p
     }
 
     /// Gaussian sample via Box–Muller.
@@ -110,8 +149,8 @@ impl Rng {
             return mean + std * z;
         }
         // Draw u1 in (0, 1] to avoid ln(0).
-        let u1: f32 = 1.0 - self.inner.gen::<f32>();
-        let u2: f32 = self.inner.gen::<f32>();
+        let u1: f32 = 1.0 - self.next_f32();
+        let u2: f32 = self.next_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         self.cached_normal = Some(r * theta.sin());
@@ -137,7 +176,7 @@ impl Rng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }

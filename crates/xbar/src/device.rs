@@ -5,6 +5,28 @@ use membit_tensor::{Rng, TensorError};
 
 use crate::Result;
 
+/// Persistent manufacturing state of one physical cell.
+///
+/// Drawn once when a tile is constructed; stuck cells stay stuck through
+/// any number of re-programming pulses, which is what makes fault
+/// *recovery* (remapping around the cell) meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellHealth {
+    /// Programs normally.
+    Healthy,
+    /// Pinned at `G_on`.
+    StuckOn,
+    /// Pinned at `G_off`.
+    StuckOff,
+}
+
+impl CellHealth {
+    /// Whether the cell is pinned to one conductance level.
+    pub fn is_stuck(self) -> bool {
+        self != CellHealth::Healthy
+    }
+}
+
 /// Electrical model of one binary NVM cell.
 ///
 /// A logical binary weight `±1` maps onto a **differential pair** of
@@ -91,7 +113,7 @@ impl DeviceModel {
     /// conductances/ratios, negative sigmas, or fault rates outside
     /// `[0, 1]`.
     pub fn validate(&self) -> Result<()> {
-        if !(self.g_on > 0.0) || !(self.on_off_ratio > 1.0) {
+        if self.g_on <= 0.0 || self.g_on.is_nan() || self.on_off_ratio <= 1.0 || self.on_off_ratio.is_nan() {
             return Err(TensorError::InvalidArgument(format!(
                 "need g_on > 0 and on_off_ratio > 1, got {} / {}",
                 self.g_on, self.on_off_ratio
@@ -120,23 +142,45 @@ impl DeviceModel {
         Ok(())
     }
 
-    /// Samples the as-programmed conductance of a cell targeted at state
-    /// `on` (applying stuck faults and d2d variation).
-    pub fn program_cell(&self, on: bool, rng: &mut Rng) -> f32 {
-        let target = if rng.coin(self.stuck_on_rate) {
-            self.g_on
+    /// Draws the manufacturing health of one physical cell. Stuck faults
+    /// are a *persistent* property of the cell: once drawn, every
+    /// subsequent programming pulse lands on the stuck level regardless of
+    /// the target (re-programming cannot cure a stuck cell).
+    pub fn sample_health(&self, rng: &mut Rng) -> CellHealth {
+        if rng.coin(self.stuck_on_rate) {
+            CellHealth::StuckOn
         } else if rng.coin(self.stuck_off_rate / (1.0 - self.stuck_on_rate).max(1e-9)) {
-            self.g_off()
-        } else if on {
-            self.g_on
+            CellHealth::StuckOff
         } else {
-            self.g_off()
+            CellHealth::Healthy
+        }
+    }
+
+    /// Samples the as-programmed conductance of a cell of known `health`
+    /// targeted at state `on` (d2d variation applies on top of whatever
+    /// level the cell physically reaches, stuck or not).
+    pub fn program_cell_with_health(&self, health: CellHealth, on: bool, rng: &mut Rng) -> f32 {
+        let target = match health {
+            CellHealth::StuckOn => self.g_on,
+            CellHealth::StuckOff => self.g_off(),
+            CellHealth::Healthy if on => self.g_on,
+            CellHealth::Healthy => self.g_off(),
         };
         if self.d2d_sigma > 0.0 {
             target * rng.normal(0.0, self.d2d_sigma).exp()
         } else {
             target
         }
+    }
+
+    /// Samples the as-programmed conductance of a cell targeted at state
+    /// `on` (applying stuck faults and d2d variation). The stuck fate is
+    /// re-drawn per call; tile-level code that must model *persistent*
+    /// faults draws [`sample_health`](Self::sample_health) once and uses
+    /// [`program_cell_with_health`](Self::program_cell_with_health).
+    pub fn program_cell(&self, on: bool, rng: &mut Rng) -> f32 {
+        let health = self.sample_health(rng);
+        self.program_cell_with_health(health, on, rng)
     }
 
     /// Samples the conductance observed on one read of a cell programmed

@@ -14,6 +14,16 @@ pub struct ExecutionStats {
     pub adc_conversions: u64,
     /// Active cell-read events (rows × cols per tile MVM).
     pub cell_reads: u64,
+    /// Cells the recovery pipeline could not repair (still flagged after
+    /// remapping) in the arrays this run executed on. Populated once per
+    /// evaluation from the deployment's recovery reports, not per batch.
+    pub unrecoverable_cells: u64,
+    /// Tiles carrying at least one unrecoverable cell. Populated once
+    /// per evaluation, like `unrecoverable_cells`.
+    pub degraded_tiles: u64,
+    /// Drift-refresh re-programming passes triggered by the health
+    /// monitor during this run.
+    pub refreshes: u64,
 }
 
 impl ExecutionStats {
@@ -24,6 +34,9 @@ impl ExecutionStats {
         self.tile_mvms += other.tile_mvms;
         self.adc_conversions += other.adc_conversions;
         self.cell_reads += other.cell_reads;
+        self.unrecoverable_cells += other.unrecoverable_cells;
+        self.degraded_tiles += other.degraded_tiles;
+        self.refreshes += other.refreshes;
     }
 
     /// Average pulses per input vector.
@@ -94,12 +107,18 @@ mod tests {
             tile_mvms: 16,
             adc_conversions: 128,
             cell_reads: 1024,
+            unrecoverable_cells: 3,
+            degraded_tiles: 1,
+            refreshes: 2,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.vectors, 2);
         assert_eq!(a.pulses, 16);
         assert_eq!(a.cell_reads, 2048);
+        assert_eq!(a.unrecoverable_cells, 6);
+        assert_eq!(a.degraded_tiles, 2);
+        assert_eq!(a.refreshes, 4);
     }
 
     #[test]

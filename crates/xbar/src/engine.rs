@@ -7,6 +7,7 @@ use crate::adc::Adc;
 use crate::energy::ExecutionStats;
 use crate::noise::NoiseSpec;
 use crate::program::{ProgramStats, WriteVerify};
+use crate::remap::{remap_tile, RecoveryPolicy, RemapReport};
 use crate::tile::Tile;
 use crate::Result;
 
@@ -62,7 +63,17 @@ impl XbarConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Validates the full deployment configuration — tile geometry,
+    /// write-verify policy, noise spec and the embedded device model —
+    /// failing fast with [`TensorError::InvalidArgument`] before any
+    /// hardware state is built. [`CrossbarLinear::program`] calls this on
+    /// every construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] describing the first
+    /// offending parameter.
+    pub fn validate(&self) -> Result<()> {
         if self.tile_rows == 0 || self.tile_cols == 0 {
             return Err(TensorError::InvalidArgument(
                 "tile dimensions must be nonzero".into(),
@@ -95,6 +106,7 @@ pub struct CrossbarLinear {
     adcs: Vec<Option<Adc>>, // per row-block (range depends on rows)
     config: XbarConfig,
     program_stats: ProgramStats,
+    recovery: Option<RemapReport>,
 }
 
 impl CrossbarLinear {
@@ -156,6 +168,7 @@ impl CrossbarLinear {
             adcs,
             config: *config,
             program_stats,
+            recovery: None,
         })
     }
 
@@ -257,6 +270,71 @@ impl CrossbarLinear {
             for tile in row {
                 tile.age(hours, nu, nu_sigma, rng);
             }
+        }
+    }
+
+    /// Runs the fault-recovery pipeline (march test → polarity flips →
+    /// spare lines → escalated write-verify, per `policy`) on every tile,
+    /// storing and returning the aggregated [`RemapReport`]. Repeated
+    /// calls (e.g. after further aging) replace the stored report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation errors.
+    pub fn remap(&mut self, policy: &RecoveryPolicy, rng: &mut Rng) -> Result<RemapReport> {
+        let mut report = RemapReport::default();
+        for row in &mut self.tiles {
+            for tile in row {
+                report.merge(&remap_tile(tile, policy, rng)?);
+            }
+        }
+        self.recovery = Some(report);
+        Ok(report)
+    }
+
+    /// The report from the most recent [`remap`](Self::remap) call, if
+    /// any.
+    pub fn recovery_report(&self) -> Option<&RemapReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Drift refresh: re-programs every tile's cells toward their stored
+    /// logical targets (using the configured write-verify policy when one
+    /// is set), restoring conductances decayed by retention. Returns the
+    /// write/endurance counters the refresh consumed.
+    pub fn refresh(&mut self, rng: &mut Rng) -> ProgramStats {
+        let mut stats = ProgramStats::default();
+        let policy = self.config.write_verify;
+        for row in &mut self.tiles {
+            for tile in row {
+                tile.refresh(policy.as_ref(), rng, &mut stats);
+            }
+        }
+        stats
+    }
+
+    /// Estimates retention decay by probing `probes_per_tile` randomly
+    /// sampled cells per tile and returning the mean `|w_eff|` (1.0 when
+    /// fresh and ideal, shrinking toward 0 as the array drifts). Probing
+    /// consumes RNG draws but does not disturb the array.
+    pub fn measure_decay(&self, probes_per_tile: usize, rng: &mut Rng) -> f32 {
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        for row in &self.tiles {
+            for tile in row {
+                let (rows, cols) = tile.dims();
+                for _ in 0..probes_per_tile {
+                    let r = rng.below(rows);
+                    let c = rng.below(cols);
+                    sum += f64::from(tile.effective_weight(r, c).abs());
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            (sum / count as f64) as f32
         }
     }
 
@@ -480,6 +558,60 @@ mod tests {
         });
         let mut rng = Rng::from_seed(25);
         assert!(CrossbarLinear::program(&Tensor::ones(&[2, 2]), &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn remap_recovers_engine_accuracy_under_stuck_faults() {
+        let mut cfg = XbarConfig::ideal();
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 16;
+        cfg.noise.device.on_off_ratio = 20.0;
+        cfg.noise.device.stuck_on_rate = 0.01;
+        cfg.noise.device.stuck_off_rate = 0.01;
+        let w = random_pm1(&[24, 40], 30);
+        let x = random_pm1(&[4, 40], 31);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+
+        let mut rng = Rng::from_seed(32);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        assert!(xbar.recovery_report().is_none());
+        let before = xbar
+            .execute(&train, &mut rng)
+            .unwrap()
+            .sub(&expect)
+            .unwrap()
+            .abs()
+            .max();
+        let report = xbar.remap(&RecoveryPolicy::standard(), &mut rng).unwrap();
+        assert!(report.faults_detected > 0, "fixture must contain faults");
+        assert_eq!(report.tiles as usize, xbar.num_tiles());
+        assert_eq!(xbar.recovery_report(), Some(&report));
+        let after = xbar
+            .execute(&train, &mut rng)
+            .unwrap()
+            .sub(&expect)
+            .unwrap()
+            .abs()
+            .max();
+        assert!(
+            after < before,
+            "remap should reduce worst-case error: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn refresh_restores_decay_measurement() {
+        let w = random_pm1(&[12, 12], 33);
+        let mut rng = Rng::from_seed(34);
+        let mut xbar = CrossbarLinear::program(&w, &XbarConfig::ideal(), &mut rng).unwrap();
+        assert!((xbar.measure_decay(32, &mut rng) - 1.0).abs() < 1e-6);
+        xbar.age(10_000.0, 0.05, 0.0, &mut rng);
+        let decayed = xbar.measure_decay(32, &mut rng);
+        assert!(decayed < 0.8, "aging must show up in the probe: {decayed}");
+        let stats = xbar.refresh(&mut rng);
+        assert!(stats.write_pulses > 0);
+        assert!((xbar.measure_decay(32, &mut rng) - 1.0).abs() < 1e-6);
     }
 
     #[test]

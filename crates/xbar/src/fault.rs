@@ -1,0 +1,289 @@
+//! Fault detection: read-back march testing of programmed tiles and
+//! in-service drift monitoring.
+//!
+//! A freshly programmed array is *march-tested*: every cell is read back
+//! `reads` times, the conductance estimate is compared against the level
+//! the cell was programmed toward, and cells deviating by more than a
+//! threshold fraction of the `G_on − G_off` window are flagged. Detection
+//! is **imperfect by construction** — the estimate is corrupted by the
+//! same cycle-to-cycle read noise inference suffers, so recall falls as
+//! `c2c_sigma` grows and device-to-device tails produce false positives.
+//! The [`FaultMap`] this yields is what the remapper
+//! ([`crate::RecoveryPolicy`]) acts on: the recovery system only ever
+//! sees *detected* faults, never ground truth.
+//!
+//! [`HealthMonitor`] covers the in-service half: periodically probing
+//! deployed arrays for retention-drift decay and deciding when a
+//! re-programming refresh is warranted.
+
+use membit_tensor::TensorError;
+
+use crate::Result;
+
+/// Which cell of a differential pair a fault was detected in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSide {
+    /// The `G⁺` cell.
+    Pos,
+    /// The `G⁻` cell.
+    Neg,
+}
+
+/// One detected cell fault: the read-back estimate disagreed with the
+/// programmed target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellFault {
+    /// Wordline index within the tile.
+    pub row: usize,
+    /// Bitline-pair index within the tile.
+    pub col: usize,
+    /// Which cell of the differential pair.
+    pub side: CellSide,
+    /// Conductance estimate from the march-test reads.
+    pub g_est: f32,
+    /// The level the cell was programmed toward.
+    pub g_target: f32,
+}
+
+/// Read-back march test configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarchTestConfig {
+    /// Repeated reads averaged per cell (more reads suppress read noise
+    /// and raise recall, at test-time cost).
+    pub reads: usize,
+    /// Flag a cell when `|ĝ − target| > threshold · (G_on − G_off)`.
+    pub threshold: f32,
+}
+
+impl MarchTestConfig {
+    /// Typical production test: 4 averaged reads, flag beyond 40 % of the
+    /// conductance window (stuck cells deviate by ~100 %).
+    pub fn standard() -> Self {
+        Self {
+            reads: 4,
+            threshold: 0.4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero reads or a
+    /// threshold outside `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.reads == 0 {
+            return Err(TensorError::InvalidArgument(
+                "march test needs at least one read per cell".into(),
+            ));
+        }
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "march threshold must lie in (0, 1], got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The detected faults of one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    faults: Vec<CellFault>,
+}
+
+impl FaultMap {
+    /// Builds a map over a `rows × cols` tile.
+    pub fn new(rows: usize, cols: usize, faults: Vec<CellFault>) -> Self {
+        Self { rows, cols, faults }
+    }
+
+    /// Tile dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// All detected faults.
+    pub fn faults(&self) -> &[CellFault] {
+        &self.faults
+    }
+
+    /// Number of detected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the tile tested clean.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Detected faults in column `col`.
+    pub fn in_col(&self, col: usize) -> impl Iterator<Item = &CellFault> {
+        self.faults.iter().filter(move |f| f.col == col)
+    }
+
+    /// Detected faults in row `row`.
+    pub fn in_row(&self, row: usize) -> impl Iterator<Item = &CellFault> {
+        self.faults.iter().filter(move |f| f.row == row)
+    }
+
+    /// Per-row fault counts (length `rows`).
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.rows];
+        for f in &self.faults {
+            counts[f.row] += 1;
+        }
+        counts
+    }
+
+    /// Per-column fault counts (length `cols`).
+    pub fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols];
+        for f in &self.faults {
+            counts[f.col] += 1;
+        }
+        counts
+    }
+}
+
+/// In-service drift monitor: decides when deployed arrays have decayed
+/// far enough that a re-programming refresh pays off.
+///
+/// Retention drift shrinks every stored differential weight toward zero
+/// (`G(t) = G₀(1+t)^{−ν}`); the monitor probes a sample of cells, compares
+/// the mean effective-weight magnitude against the ideal `1.0`, and
+/// triggers a refresh when the decay crosses `decay_threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthMonitor {
+    /// Re-check deployed arrays every this many inference vectors.
+    pub check_interval: u64,
+    /// Refresh when the mean `|w_eff|` of probed cells falls below
+    /// `1 − decay_threshold`.
+    pub decay_threshold: f32,
+    /// Cells sampled per array per check.
+    pub probes: usize,
+}
+
+impl HealthMonitor {
+    /// Check every 128 vectors, refresh past 15 % decay, 64 probes.
+    pub fn standard() -> Self {
+        Self {
+            check_interval: 128,
+            decay_threshold: 0.15,
+            probes: 64,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a zero interval/probe
+    /// count or a threshold outside `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if self.check_interval == 0 || self.probes == 0 {
+            return Err(TensorError::InvalidArgument(
+                "health monitor needs a nonzero check interval and probe count".into(),
+            ));
+        }
+        if !(self.decay_threshold > 0.0 && self.decay_threshold < 1.0) {
+            return Err(TensorError::InvalidArgument(format!(
+                "decay_threshold must lie in (0, 1), got {}",
+                self.decay_threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether `vectors_since_check` inference vectors warrant a probe.
+    pub fn due(&self, vectors_since_check: u64) -> bool {
+        vectors_since_check >= self.check_interval
+    }
+
+    /// Whether a measured mean `|w_eff|` calls for a refresh.
+    pub fn needs_refresh(&self, mean_weight_magnitude: f32) -> bool {
+        mean_weight_magnitude < 1.0 - self.decay_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn march_config_validation() {
+        MarchTestConfig::standard().validate().unwrap();
+        assert!(MarchTestConfig {
+            reads: 0,
+            threshold: 0.4
+        }
+        .validate()
+        .is_err());
+        assert!(MarchTestConfig {
+            reads: 4,
+            threshold: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(MarchTestConfig {
+            reads: 4,
+            threshold: 1.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn fault_map_indexing() {
+        let fault = |row, col, side| CellFault {
+            row,
+            col,
+            side,
+            g_est: 100.0,
+            g_target: 5.0,
+        };
+        let map = FaultMap::new(
+            4,
+            3,
+            vec![
+                fault(0, 1, CellSide::Pos),
+                fault(0, 2, CellSide::Neg),
+                fault(3, 1, CellSide::Pos),
+            ],
+        );
+        assert_eq!(map.dims(), (4, 3));
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+        assert_eq!(map.in_col(1).count(), 2);
+        assert_eq!(map.in_row(0).count(), 2);
+        assert_eq!(map.row_counts(), vec![2, 0, 0, 1]);
+        assert_eq!(map.col_counts(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn monitor_validation_and_decisions() {
+        let m = HealthMonitor::standard();
+        m.validate().unwrap();
+        assert!(!m.due(0));
+        assert!(m.due(128));
+        assert!(!m.needs_refresh(0.99));
+        assert!(m.needs_refresh(0.5));
+        assert!(HealthMonitor {
+            check_interval: 0,
+            ..m
+        }
+        .validate()
+        .is_err());
+        assert!(HealthMonitor {
+            decay_threshold: 1.0,
+            ..m
+        }
+        .validate()
+        .is_err());
+        assert!(HealthMonitor { probes: 0, ..m }.validate().is_err());
+    }
+}

@@ -8,6 +8,16 @@
 //! array — one analog MVM per pulse, exactly the temporal scheme whose
 //! noise accumulation the GBO paper analyzes.
 //!
+//! Deployment-lifecycle support rides on top: read-back **march testing**
+//! ([`MarchTestConfig`] → [`FaultMap`]), **fault remapping** with
+//! composable strategies — differential-pair polarity flips, spare
+//! row/column redundancy, escalated write-verify —
+//! ([`RecoveryPolicy`] / [`CrossbarLinear::remap`]), and in-service
+//! **drift monitoring + refresh** ([`HealthMonitor`],
+//! [`CrossbarLinear::refresh`]). Unrecoverable cells degrade gracefully:
+//! they are counted in [`RemapReport`] / [`ExecutionStats`] instead of
+//! failing the deployment.
+//!
 //! The paper itself trains and evaluates against the *functional* noise
 //! model `o = Wx + N(0, σ²)` (its Eq. 1); this crate provides the richer
 //! substrate used to (a) validate the closed-form variance formulas by
@@ -39,16 +49,22 @@ mod adc;
 mod device;
 mod energy;
 mod engine;
+mod fault;
 mod noise;
 mod program;
+mod remap;
 mod tile;
 
 pub use adc::Adc;
-pub use device::DeviceModel;
+pub use device::{CellHealth, DeviceModel};
 pub use energy::{EnergyModel, ExecutionStats};
 pub use engine::{CrossbarLinear, XbarConfig};
+pub use fault::{CellFault, CellSide, FaultMap, HealthMonitor, MarchTestConfig};
 pub use noise::NoiseSpec;
-pub use program::{program_cell_verified, ProgramStats, WriteVerify};
+pub use program::{
+    program_cell_verified, program_cell_verified_with_health, ProgramStats, WriteVerify,
+};
+pub use remap::{remap_tile, RecoveryPolicy, RemapReport};
 pub use tile::Tile;
 
 /// Convenience alias matching [`membit_tensor::Result`].

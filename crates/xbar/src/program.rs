@@ -9,7 +9,7 @@
 
 use membit_tensor::{Rng, TensorError};
 
-use crate::device::DeviceModel;
+use crate::device::{CellHealth, DeviceModel};
 use crate::Result;
 
 /// Write-with-verify policy.
@@ -37,7 +37,7 @@ impl WriteVerify {
     /// Returns [`TensorError::InvalidArgument`] for a non-positive
     /// tolerance or a zero attempt budget.
     pub fn validate(&self) -> Result<()> {
-        if !(self.tolerance > 0.0) {
+        if self.tolerance <= 0.0 || self.tolerance.is_nan() {
             return Err(TensorError::InvalidArgument(format!(
                 "write-verify tolerance must be positive, got {}",
                 self.tolerance
@@ -84,12 +84,30 @@ impl ProgramStats {
 /// Programs one cell toward state `on` under `policy`, returning the
 /// final conductance and updating `stats`.
 ///
-/// Each attempt is an independent draw of the programming variation;
-/// stuck cells (which [`DeviceModel::program_cell`] pins to one state)
-/// either happen to satisfy the check or exhaust the budget and count as
-/// failed.
+/// The cell's stuck fate is drawn once up front; see
+/// [`program_cell_verified_with_health`] for the variant tile code uses
+/// when the health is already known.
 pub fn program_cell_verified(
     device: &DeviceModel,
+    on: bool,
+    policy: &WriteVerify,
+    rng: &mut Rng,
+    stats: &mut ProgramStats,
+) -> f32 {
+    let health = device.sample_health(rng);
+    program_cell_verified_with_health(device, health, on, policy, rng, stats)
+}
+
+/// Programs one cell of known persistent `health` toward state `on`
+/// under `policy`.
+///
+/// Each attempt is an independent draw of the programming variation on
+/// top of the level the cell physically reaches; a stuck cell whose
+/// pinned level disagrees with the target either lands inside tolerance
+/// by luck or exhausts the budget and counts as failed.
+pub fn program_cell_verified_with_health(
+    device: &DeviceModel,
+    health: CellHealth,
     on: bool,
     policy: &WriteVerify,
     rng: &mut Rng,
@@ -99,7 +117,7 @@ pub fn program_cell_verified(
     stats.cells += 1;
     let mut g = target;
     for attempt in 1..=policy.max_attempts {
-        g = device.program_cell(on, rng);
+        g = device.program_cell_with_health(health, on, rng);
         stats.write_pulses += 1;
         if (g - target).abs() <= policy.tolerance * target {
             return g;

@@ -1,29 +1,48 @@
 //! One physical crossbar tile: programmed conductance pairs plus the
-//! per-pulse analog MVM.
+//! per-pulse analog MVM and the fault-recovery primitives the remapper
+//! composes.
 
 use membit_tensor::{Rng, Tensor, TensorError};
 
-use crate::device::DeviceModel;
+use crate::device::{CellHealth, DeviceModel};
+use crate::fault::{CellFault, CellSide, FaultMap, MarchTestConfig};
 use crate::noise::NoiseSpec;
-use crate::program::{program_cell_verified, ProgramStats, WriteVerify};
+use crate::program::{program_cell_verified_with_health, ProgramStats, WriteVerify};
 use crate::Result;
 
 /// A `rows × cols` crossbar tile storing binary weights as differential
 /// conductance pairs.
 ///
 /// Rows are wordlines (driven by input pulses, ±1 V bipolar), columns are
-/// differential bitline pairs. The tile is *programmed once* — device-to-
-/// device variation and stuck faults are frozen at construction — while
-/// cycle-to-cycle read noise and the functional output noise are sampled
-/// on every [`mvm`](Self::mvm).
+/// differential bitline pairs. The tile keeps the *logical* ±1 weights it
+/// was asked to store alongside the physical state, so it can be
+/// re-programmed (refresh after drift) and march-tested (read-back vs
+/// target) at any point in its service life.
+///
+/// Stuck faults are a **persistent** per-cell property drawn once at
+/// construction ([`CellHealth`]): re-programming a stuck cell lands on
+/// its pinned level again, which is what makes remapping — rather than
+/// rewriting — the only cure. Each column additionally carries a digital
+/// polarity sign (`col_sign`): programming the column with inverted
+/// targets and negating its output digitally computes the same product,
+/// but moves each stuck cell's error to the *opposite* logical weight
+/// sign — the cheapest remapping lever a differential array has.
 #[derive(Debug, Clone)]
 pub struct Tile {
     rows: usize,
     cols: usize,
+    /// Logical binary weights, row-major, entries ±1.
+    logical: Vec<f32>,
+    /// Per-column digital polarity correction, entries ±1.
+    col_sign: Vec<f32>,
     /// As-programmed conductance of the positive cell, row-major.
     g_pos: Vec<f32>,
     /// As-programmed conductance of the negative cell, row-major.
     g_neg: Vec<f32>,
+    /// Persistent health of the positive cells, row-major.
+    health_pos: Vec<CellHealth>,
+    /// Persistent health of the negative cells, row-major.
+    health_neg: Vec<CellHealth>,
     /// Per-cell IR-drop attenuation (all 1.0 when disabled), row-major.
     attenuation: Vec<f32>,
     device: DeviceModel,
@@ -38,41 +57,13 @@ impl Tile {
     /// Returns rank/validation errors for non-matrix input or an invalid
     /// device model.
     pub fn program(w: &Tensor, device: &DeviceModel, rng: &mut Rng) -> Result<Self> {
-        if w.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "tile program",
-                expected: 2,
-                actual: w.rank(),
-            });
+        let mut tile = Self::allocate(w, device, rng)?;
+        for idx in 0..tile.rows * tile.cols {
+            let on = tile.logical[idx] >= 0.0;
+            tile.g_pos[idx] = device.program_cell_with_health(tile.health_pos[idx], on, rng);
+            tile.g_neg[idx] = device.program_cell_with_health(tile.health_neg[idx], !on, rng);
         }
-        device.validate()?;
-        let (rows, cols) = (w.shape()[0], w.shape()[1]);
-        let mut g_pos = Vec::with_capacity(rows * cols);
-        let mut g_neg = Vec::with_capacity(rows * cols);
-        for &v in w.as_slice() {
-            let positive = v >= 0.0;
-            g_pos.push(device.program_cell(positive, rng));
-            g_neg.push(device.program_cell(!positive, rng));
-        }
-        let alpha = device.ir_drop_alpha;
-        let attenuation = (0..rows * cols)
-            .map(|idx| {
-                if alpha == 0.0 {
-                    1.0
-                } else {
-                    let (i, j) = (idx / cols, idx % cols);
-                    1.0 - alpha * (i as f32 / rows as f32 + j as f32 / cols as f32) / 2.0
-                }
-            })
-            .collect();
-        Ok(Self {
-            rows,
-            cols,
-            g_pos,
-            g_neg,
-            attenuation,
-            device: *device,
-        })
+        Ok(tile)
     }
 
     /// Programs a tile with write-and-verify (see
@@ -90,14 +81,84 @@ impl Tile {
         rng: &mut Rng,
     ) -> Result<(Self, ProgramStats)> {
         policy.validate()?;
-        let mut tile = Self::program(w, device, rng)?;
+        let mut tile = Self::allocate(w, device, rng)?;
         let mut stats = ProgramStats::default();
-        for (idx, &v) in w.as_slice().iter().enumerate() {
-            let positive = v >= 0.0;
-            tile.g_pos[idx] = program_cell_verified(device, positive, policy, rng, &mut stats);
-            tile.g_neg[idx] = program_cell_verified(device, !positive, policy, rng, &mut stats);
+        for idx in 0..tile.rows * tile.cols {
+            let on = tile.logical[idx] >= 0.0;
+            tile.g_pos[idx] = program_cell_verified_with_health(
+                device,
+                tile.health_pos[idx],
+                on,
+                policy,
+                rng,
+                &mut stats,
+            );
+            tile.g_neg[idx] = program_cell_verified_with_health(
+                device,
+                tile.health_neg[idx],
+                !on,
+                policy,
+                rng,
+                &mut stats,
+            );
         }
         Ok((tile, stats))
+    }
+
+    /// Validates the weights, draws the persistent cell healths, and
+    /// builds the (not yet programmed) tile.
+    fn allocate(w: &Tensor, device: &DeviceModel, rng: &mut Rng) -> Result<Self> {
+        if w.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "tile program",
+                expected: 2,
+                actual: w.rank(),
+            });
+        }
+        device.validate()?;
+        let (rows, cols) = (w.shape()[0], w.shape()[1]);
+        let cells = rows * cols;
+        let logical: Vec<f32> = w
+            .as_slice()
+            .iter()
+            .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
+        let mut health_pos = Vec::with_capacity(cells);
+        let mut health_neg = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            health_pos.push(device.sample_health(rng));
+            health_neg.push(device.sample_health(rng));
+        }
+        let alpha = device.ir_drop_alpha;
+        let attenuation = (0..cells)
+            .map(|idx| {
+                if alpha == 0.0 {
+                    1.0
+                } else {
+                    let (i, j) = (idx / cols, idx % cols);
+                    1.0 - alpha * (i as f32 / rows as f32 + j as f32 / cols as f32) / 2.0
+                }
+            })
+            .collect();
+        Ok(Self {
+            rows,
+            cols,
+            logical,
+            col_sign: vec![1.0; cols],
+            g_pos: vec![0.0; cells],
+            g_neg: vec![0.0; cells],
+            health_pos,
+            health_neg,
+            attenuation,
+            device: *device,
+        })
+    }
+
+    /// The pair of ON-targets for cell pair `idx` in column `col` under
+    /// the current polarity: `(pos_on, neg_on)`.
+    fn pair_targets(&self, idx: usize, col: usize) -> (bool, bool) {
+        let positive = self.logical[idx] * self.col_sign[col] >= 0.0;
+        (positive, !positive)
     }
 
     /// Ages the array by `hours` of retention: every cell's conductance
@@ -126,17 +187,42 @@ impl Tile {
         (self.rows, self.cols)
     }
 
+    /// The device model the tile was programmed under.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// The logical ±1 weight the tile is meant to store at `(row, col)`.
+    pub fn logical_weight(&self, row: usize, col: usize) -> f32 {
+        self.logical[row * self.cols + col]
+    }
+
+    /// The digital polarity sign of column `col` (±1).
+    pub fn col_sign(&self, col: usize) -> f32 {
+        self.col_sign[col]
+    }
+
+    /// Ground-truth persistent health of the differential pair at
+    /// `(row, col)` — `(positive cell, negative cell)`. Recovery code
+    /// must *not* consult this (it only sees march-test detections); it
+    /// exists for instrumentation and tests.
+    pub fn health(&self, row: usize, col: usize) -> (CellHealth, CellHealth) {
+        let idx = row * self.cols + col;
+        (self.health_pos[idx], self.health_neg[idx])
+    }
+
     /// The effective weight the tile actually stores for `(row, col)` —
-    /// `(G⁺ − G⁻)/(G_on − G_off)`, which is ±1 for ideal devices.
+    /// `sign_j·(G⁺ − G⁻)/(G_on − G_off)`, which is ±1 for ideal devices.
     pub fn effective_weight(&self, row: usize, col: usize) -> f32 {
         let idx = row * self.cols + col;
         let denom = self.device.g_on - self.device.g_off();
-        (self.g_pos[idx] - self.g_neg[idx]) / denom
+        self.col_sign[col] * (self.g_pos[idx] - self.g_neg[idx]) / denom
     }
 
     /// One analog MVM: drives `x` (`len = rows`, entries ±1 or 0) through
     /// the array and writes normalized differential column currents into
-    /// `out` (`len = cols`).
+    /// `out` (`len = cols`), with each column's digital polarity sign
+    /// applied.
     ///
     /// `noise.output_sigma` Gaussian noise is added per column;
     /// cycle-to-cycle read noise perturbs every cell independently.
@@ -178,6 +264,12 @@ impl Tile {
                 }
             }
         }
+        // the polarity sign is a digital negation after the sense
+        // amplifier; read noise is symmetric so applying it before the
+        // noise terms is statistically identical
+        for (o, &s) in out.iter_mut().zip(&self.col_sign) {
+            *o *= s;
+        }
         if c2c {
             let s = self.device.c2c_sigma / denom;
             for (o, &v) in out.iter_mut().zip(&c2c_var) {
@@ -192,6 +284,256 @@ impl Tile {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault detection and recovery primitives
+    // ------------------------------------------------------------------
+
+    /// Read-back march test: estimates every cell's conductance from
+    /// `cfg.reads` averaged noisy reads and flags cells whose estimate
+    /// deviates from the programmed target by more than
+    /// `cfg.threshold·(G_on − G_off)`.
+    ///
+    /// Detection fidelity is limited by the same read noise inference
+    /// sees: recall drops as `c2c_sigma` grows, and `d2d_sigma` tails
+    /// produce false positives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn march_test(&self, cfg: &MarchTestConfig, rng: &mut Rng) -> Result<FaultMap> {
+        cfg.validate()?;
+        let mut faults = Vec::new();
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                self.march_test_pair(row, col, cfg, rng, &mut faults);
+            }
+        }
+        Ok(FaultMap::new(self.rows, self.cols, faults))
+    }
+
+    /// [`march_test`](Self::march_test) restricted to one column —
+    /// cheap read-back used by the remapper to judge a trial polarity
+    /// flip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and range errors.
+    pub fn march_test_column(
+        &self,
+        col: usize,
+        cfg: &MarchTestConfig,
+        rng: &mut Rng,
+    ) -> Result<Vec<CellFault>> {
+        cfg.validate()?;
+        if col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "march_test_column {col} out of range for {} columns",
+                self.cols
+            )));
+        }
+        let mut faults = Vec::new();
+        for row in 0..self.rows {
+            self.march_test_pair(row, col, cfg, rng, &mut faults);
+        }
+        Ok(faults)
+    }
+
+    /// Read-back check of both cells of one differential pair, appending
+    /// any detection to `faults`.
+    fn march_test_pair(
+        &self,
+        row: usize,
+        col: usize,
+        cfg: &MarchTestConfig,
+        rng: &mut Rng,
+        faults: &mut Vec<CellFault>,
+    ) {
+        let window = self.device.g_on - self.device.g_off();
+        let idx = row * self.cols + col;
+        let (pos_on, neg_on) = self.pair_targets(idx, col);
+        for (side, g_prog, on) in [
+            (CellSide::Pos, self.g_pos[idx], pos_on),
+            (CellSide::Neg, self.g_neg[idx], neg_on),
+        ] {
+            let target = if on { self.device.g_on } else { self.device.g_off() };
+            let mut sum = 0.0f32;
+            for _ in 0..cfg.reads {
+                sum += self.device.read_cell(g_prog, rng);
+            }
+            let g_est = sum / cfg.reads as f32;
+            if (g_est - target).abs() > cfg.threshold * window {
+                faults.push(CellFault {
+                    row,
+                    col,
+                    side,
+                    g_est,
+                    g_target: target,
+                });
+            }
+        }
+    }
+
+    /// Flips the digital polarity of column `col` and re-programs its
+    /// cells with inverted targets. The column then computes the same
+    /// logical product, but every stuck cell's error moves to the
+    /// opposite logical weight sign — a stuck cell that was corrupting
+    /// its weight may now land exactly on its (inverted) target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an out-of-range
+    /// column.
+    pub fn flip_column(&mut self, col: usize, rng: &mut Rng) -> Result<()> {
+        if col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "flip_column {col} out of range for {} columns",
+                self.cols
+            )));
+        }
+        self.col_sign[col] = -self.col_sign[col];
+        for row in 0..self.rows {
+            let idx = row * self.cols + col;
+            let (pos_on, neg_on) = self.pair_targets(idx, col);
+            self.g_pos[idx] = self
+                .device
+                .program_cell_with_health(self.health_pos[idx], pos_on, rng);
+            self.g_neg[idx] = self
+                .device
+                .program_cell_with_health(self.health_neg[idx], neg_on, rng);
+        }
+        Ok(())
+    }
+
+    /// Routes logical row `row` to a spare physical wordline: the spare's
+    /// cells get fresh health draws from the device model (spares fail at
+    /// the same iid rate as primary cells) and are programmed with the
+    /// row's logical weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an out-of-range row.
+    pub fn replace_row(&mut self, row: usize, rng: &mut Rng) -> Result<()> {
+        if row >= self.rows {
+            return Err(TensorError::InvalidArgument(format!(
+                "replace_row {row} out of range for {} rows",
+                self.rows
+            )));
+        }
+        for col in 0..self.cols {
+            let idx = row * self.cols + col;
+            self.health_pos[idx] = self.device.sample_health(rng);
+            self.health_neg[idx] = self.device.sample_health(rng);
+            let (pos_on, neg_on) = self.pair_targets(idx, col);
+            self.g_pos[idx] = self
+                .device
+                .program_cell_with_health(self.health_pos[idx], pos_on, rng);
+            self.g_neg[idx] = self
+                .device
+                .program_cell_with_health(self.health_neg[idx], neg_on, rng);
+        }
+        Ok(())
+    }
+
+    /// Routes logical column `col` to a spare bitline pair: fresh health
+    /// draws, polarity reset to +1, and the column's logical weights
+    /// programmed onto the spare cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an out-of-range
+    /// column.
+    pub fn replace_col(&mut self, col: usize, rng: &mut Rng) -> Result<()> {
+        if col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "replace_col {col} out of range for {} columns",
+                self.cols
+            )));
+        }
+        self.col_sign[col] = 1.0;
+        for row in 0..self.rows {
+            let idx = row * self.cols + col;
+            self.health_pos[idx] = self.device.sample_health(rng);
+            self.health_neg[idx] = self.device.sample_health(rng);
+            let (pos_on, neg_on) = self.pair_targets(idx, col);
+            self.g_pos[idx] = self
+                .device
+                .program_cell_with_health(self.health_pos[idx], pos_on, rng);
+            self.g_neg[idx] = self
+                .device
+                .program_cell_with_health(self.health_neg[idx], neg_on, rng);
+        }
+        Ok(())
+    }
+
+    /// Escalated write-verify on the differential pair at `(row, col)`:
+    /// both cells are re-programmed under `policy` (typically tighter
+    /// tolerance / larger retry budget than the deployment default),
+    /// charging `stats`. Returns whether **both** cells verified within
+    /// tolerance — genuinely stuck cells cannot, drifted or badly
+    /// programmed healthy cells can.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation and range errors.
+    pub fn reprogram_pair(
+        &mut self,
+        row: usize,
+        col: usize,
+        policy: &WriteVerify,
+        rng: &mut Rng,
+        stats: &mut ProgramStats,
+    ) -> Result<bool> {
+        policy.validate()?;
+        if row >= self.rows || col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "reprogram_pair ({row}, {col}) out of range for {}×{}",
+                self.rows, self.cols
+            )));
+        }
+        let idx = row * self.cols + col;
+        let (pos_on, neg_on) = self.pair_targets(idx, col);
+        let mut ok = true;
+        for (g, health, on) in [
+            (&mut self.g_pos[idx], self.health_pos[idx], pos_on),
+            (&mut self.g_neg[idx], self.health_neg[idx], neg_on),
+        ] {
+            let target = if on { self.device.g_on } else { self.device.g_off() };
+            *g = program_cell_verified_with_health(&self.device, health, on, policy, rng, stats);
+            ok &= (*g - target).abs() <= policy.tolerance * target;
+        }
+        Ok(ok)
+    }
+
+    /// Drift refresh: re-programs every cell toward its current target
+    /// (logical weight × column polarity), restoring conductances that
+    /// retention drift has decayed. Stuck cells land on their pinned
+    /// level again — refresh cures drift, not faults. With a
+    /// [`WriteVerify`] policy each cell is programmed to tolerance;
+    /// either way the write pulses are charged to `stats`.
+    pub fn refresh(&mut self, policy: Option<&WriteVerify>, rng: &mut Rng, stats: &mut ProgramStats) {
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let idx = row * self.cols + col;
+                let (pos_on, neg_on) = self.pair_targets(idx, col);
+                for (g, health, on) in [
+                    (&mut self.g_pos[idx], self.health_pos[idx], pos_on),
+                    (&mut self.g_neg[idx], self.health_neg[idx], neg_on),
+                ] {
+                    *g = match policy {
+                        Some(p) => {
+                            program_cell_verified_with_health(&self.device, health, on, p, rng, stats)
+                        }
+                        None => {
+                            stats.cells += 1;
+                            stats.write_pulses += 1;
+                            self.device.program_cell_with_health(health, on, rng)
+                        }
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -211,6 +553,8 @@ mod tests {
         assert_eq!(tile.effective_weight(0, 0), 1.0);
         assert_eq!(tile.effective_weight(0, 1), -1.0);
         assert_eq!(tile.effective_weight(1, 0), -1.0);
+        assert_eq!(tile.logical_weight(0, 1), -1.0);
+        assert_eq!(tile.col_sign(0), 1.0);
     }
 
     #[test]
@@ -350,5 +694,158 @@ mod tests {
     fn non_matrix_weights_rejected() {
         let mut rng = Rng::from_seed(0);
         assert!(Tile::program(&Tensor::zeros(&[4]), &DeviceModel::ideal(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn stuck_faults_persist_through_reprogramming() {
+        let mut device = DeviceModel::ideal();
+        device.stuck_on_rate = 1.0; // every cell pinned to G_on
+        let mut rng = Rng::from_seed(9);
+        let w = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        // both cells stuck on ⇒ differential weight reads 0
+        assert_eq!(tile.effective_weight(0, 0), 0.0);
+        assert_eq!(tile.health(0, 0), (CellHealth::StuckOn, CellHealth::StuckOn));
+        // refreshing cannot cure the fault
+        let mut stats = ProgramStats::default();
+        tile.refresh(None, &mut rng, &mut stats);
+        assert_eq!(tile.effective_weight(0, 0), 0.0);
+        assert_eq!(stats.cells, 2);
+    }
+
+    #[test]
+    fn march_test_flags_stuck_cells_and_passes_clean_tiles() {
+        let mut device = DeviceModel::ideal();
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(10);
+        let w = Tensor::ones(&[4, 4]);
+        let clean = Tile::program(&w, &device, &mut rng).unwrap();
+        assert!(clean
+            .march_test(&MarchTestConfig::standard(), &mut rng)
+            .unwrap()
+            .is_empty());
+
+        device.stuck_off_rate = 1.0;
+        let faulty = Tile::program(&w, &device, &mut rng).unwrap();
+        let map = faulty.march_test(&MarchTestConfig::standard(), &mut rng).unwrap();
+        // every +1 weight's positive cell targets ON but is pinned OFF;
+        // the negative cells target OFF and are (happily) stuck there
+        assert_eq!(map.len(), 16);
+        assert!(map.faults().iter().all(|f| f.side == CellSide::Pos));
+        let mut bad_cfg = MarchTestConfig::standard();
+        bad_cfg.reads = 0;
+        assert!(faulty.march_test(&bad_cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn flip_column_preserves_logical_product() {
+        let mut rng = Rng::from_seed(11);
+        let tile_w = weights();
+        let mut tile = Tile::program(&tile_w, &DeviceModel::ideal(), &mut rng).unwrap();
+        tile.flip_column(1, &mut rng).unwrap();
+        assert_eq!(tile.col_sign(1), -1.0);
+        // effective weights are unchanged on ideal hardware
+        for row in 0..3 {
+            for col in 0..2 {
+                assert_eq!(tile.effective_weight(row, col), tile.logical_weight(row, col));
+            }
+        }
+        let x = [1.0, -1.0, 1.0];
+        let mut out = [0.0; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        assert!((out[0] - 3.0).abs() < 1e-5);
+        assert!((out[1] + 1.0).abs() < 1e-5);
+        assert!(tile.flip_column(5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn flip_column_rescues_adverse_stuck_cell() {
+        // A StuckOn positive cell under a −1 weight zeroes the weight;
+        // after the flip its target becomes ON and the weight is exact.
+        let mut device = DeviceModel::ideal();
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(12);
+        let w = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        // manufacture the fault by hand: pin the positive cell ON
+        tile.health_pos[0] = CellHealth::StuckOn;
+        tile.g_pos[0] = device.g_on;
+        // weight −1 wants pos OFF: (g_on − g_on)/denom = 0
+        assert!(tile.effective_weight(0, 0).abs() < 1e-5);
+        tile.flip_column(0, &mut rng).unwrap();
+        // flipped target: pos ON (the stuck cell complies), neg OFF
+        assert!((tile.effective_weight(0, 0) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn replace_row_and_col_cure_faults_with_healthy_spares() {
+        let mut device = DeviceModel::ideal();
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(13);
+        let w = weights();
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        // break a whole row and a whole column by hand
+        for col in 0..2 {
+            let idx = col; // row 0
+            tile.health_pos[idx] = CellHealth::StuckOff;
+            tile.g_pos[idx] = device.g_off();
+            tile.health_neg[idx] = CellHealth::StuckOff;
+            tile.g_neg[idx] = device.g_off();
+        }
+        assert!(tile.effective_weight(0, 0).abs() < 1e-5);
+        tile.replace_row(0, &mut rng).unwrap();
+        assert_eq!(tile.effective_weight(0, 0), 1.0);
+        assert_eq!(tile.effective_weight(0, 1), -1.0);
+
+        tile.health_pos[2] = CellHealth::StuckOn; // (1, 0)
+        tile.g_pos[2] = device.g_on;
+        tile.replace_col(0, &mut rng).unwrap();
+        assert_eq!(tile.effective_weight(1, 0), -1.0);
+        assert_eq!(tile.col_sign(0), 1.0);
+        assert!(tile.replace_row(9, &mut rng).is_err());
+        assert!(tile.replace_col(9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn refresh_restores_drifted_conductance() {
+        let mut rng = Rng::from_seed(14);
+        let w = weights();
+        let mut tile = Tile::program(&w, &DeviceModel::ideal(), &mut rng).unwrap();
+        tile.age(10_000.0, 0.05, 0.0, &mut rng);
+        assert!(tile.effective_weight(0, 0) < 0.9);
+        let mut stats = ProgramStats::default();
+        tile.refresh(None, &mut rng, &mut stats);
+        assert_eq!(tile.effective_weight(0, 0), 1.0);
+        assert_eq!(stats.cells, 12); // 6 pairs
+        // verified refresh also works and charges pulses
+        let mut stats2 = ProgramStats::default();
+        tile.refresh(Some(&WriteVerify::standard()), &mut rng, &mut stats2);
+        assert_eq!(tile.effective_weight(0, 0), 1.0);
+        assert!(stats2.write_pulses >= 12);
+    }
+
+    #[test]
+    fn reprogram_pair_succeeds_on_healthy_fails_on_stuck() {
+        let mut device = DeviceModel::ideal();
+        device.d2d_sigma = 0.08;
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(15);
+        let w = Tensor::ones(&[1, 1]);
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        let escalated = WriteVerify {
+            tolerance: 0.02,
+            max_attempts: 50,
+        };
+        let mut stats = ProgramStats::default();
+        assert!(tile
+            .reprogram_pair(0, 0, &escalated, &mut rng, &mut stats)
+            .unwrap());
+        assert!((tile.effective_weight(0, 0) - 1.0).abs() < 0.05);
+
+        tile.health_pos[0] = CellHealth::StuckOff;
+        assert!(!tile
+            .reprogram_pair(0, 0, &escalated, &mut rng, &mut stats)
+            .unwrap());
+        assert!(tile.reprogram_pair(5, 0, &escalated, &mut rng, &mut stats).is_err());
     }
 }

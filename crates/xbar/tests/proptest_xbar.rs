@@ -55,7 +55,7 @@ proptest! {
         tile_cols in 2usize..10,
     ) {
         let w = pm1_matrix(11, 13, seed);
-        let x = Tensor::from_fn(&[2, 13], |i| ((i % 9) as f32 / 4.0 - 1.0));
+        let x = Tensor::from_fn(&[2, 13], |i| (i % 9) as f32 / 4.0 - 1.0);
         let train = Thermometer::new(4).unwrap().encode_tensor(&x).unwrap();
 
         let mut rng1 = Rng::from_seed(seed);

@@ -7,7 +7,7 @@
 //! cargo run --release -p membit-core --example device_level_eval
 //! ```
 
-use membit_core::{evaluate, pretrain, DeviceEvalConfig, DeviceVgg, TrainConfig};
+use membit_core::{evaluate, pretrain, DeploymentPolicy, DeviceEvalConfig, DeviceVgg, TrainConfig};
 use membit_data::{synth_cifar, SynthCifarConfig};
 use membit_nn::{NoNoise, Params, Vgg, VggConfig};
 use membit_tensor::{Rng, RngStream};
@@ -57,13 +57,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("realistic + output noise σ=2", XbarConfig::realistic(2.0)),
     ] {
         let mut dev_rng = Rng::from_seed(5).stream(RngStream::Device);
-        let device = DeviceVgg::deploy(
+        let mut device = DeviceVgg::deploy(
             &vgg,
             &params,
             &DeviceEvalConfig {
                 xbar,
                 pulses: vec![8; 3],
                 act_levels: 9,
+                policy: DeploymentPolicy::default(),
             },
             &mut dev_rng,
         )?;

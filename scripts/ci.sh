@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run before every push.
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release --workspace
+
+echo "=== cargo test ==="
+cargo test -q --workspace
+
+echo "=== cargo clippy (-D warnings) ==="
+cargo clippy --release --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"
