@@ -9,6 +9,9 @@
 //!   `EXPERIMENTS.md`; `full` trains longer on more data for tighter
 //!   numbers when compute allows.
 //! * `--seed <u64>` — root seed (default 2022, the paper's year).
+//! * `--resume` — continue interrupted training stages from their
+//!   auto-checkpoints under `results/work_<scale>_seed<seed>/` instead of
+//!   restarting them from scratch.
 //!
 //! Pre-trained weights are cached under `results/` so the expensive
 //! pre-training stage runs once per scale and is shared by all binaries.
@@ -49,6 +52,8 @@ pub struct Cli {
     pub scale: Scale,
     /// Root seed.
     pub seed: u64,
+    /// Resume interrupted training stages from their auto-checkpoints.
+    pub resume: bool,
     /// Remaining (binary-specific) arguments.
     pub rest: Vec<String>,
 }
@@ -59,15 +64,20 @@ impl Cli {
     pub fn parse() -> Self {
         let usage = |msg: &str| -> ! {
             eprintln!("error: {msg}");
-            eprintln!("usage: <bin> [--scale quick|full] [--seed <u64>] [binary-specific options]");
+            eprintln!(
+                "usage: <bin> [--scale quick|full] [--seed <u64>] [--resume] \
+                 [binary-specific options]"
+            );
             std::process::exit(2);
         };
         let mut scale = Scale::Quick;
         let mut seed = 2022u64;
+        let mut resume = false;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
+                "--resume" => resume = true,
                 "--scale" => {
                     let v = args
                         .next()
@@ -87,7 +97,12 @@ impl Cli {
                 other => rest.push(other.to_string()),
             }
         }
-        Self { scale, seed, rest }
+        Self {
+            scale,
+            seed,
+            resume,
+            rest,
+        }
     }
 
     /// Value of a `--name <f32>` option in the leftover args.
@@ -133,6 +148,7 @@ pub fn experiment_config(scale: Scale, seed: u64) -> ExperimentConfig {
         scale.tag(),
         seed
     )));
+    cfg.work_dir = Some(results_dir().join(format!("work_{}_seed{}", scale.tag(), seed)));
     cfg
 }
 
@@ -143,7 +159,8 @@ pub fn experiment_config(scale: Scale, seed: u64) -> ExperimentConfig {
 /// Panics on training/IO errors — bench binaries are user-facing tools
 /// where failing loudly is correct.
 pub fn setup_experiment(cli: &Cli) -> Experiment {
-    let cfg = experiment_config(cli.scale, cli.seed);
+    let mut cfg = experiment_config(cli.scale, cli.seed);
+    cfg.resume = cli.resume;
     let cached = cfg
         .checkpoint
         .as_ref()

@@ -34,14 +34,16 @@ impl NoiseCalibration {
     /// a non-positive unit.
     pub fn new(rms: Vec<f32>, unit: f32) -> Result<Self> {
         if rms.is_empty() {
-            return Err(TensorError::InvalidArgument(
-                "calibration needs at least one layer".into(),
-            ));
+            return Err(
+                TensorError::InvalidArgument("calibration needs at least one layer".into())
+                    .into(),
+            );
         }
         if unit <= 0.0 || unit.is_nan() {
             return Err(TensorError::InvalidArgument(format!(
                 "sigma unit must be positive, got {unit}"
-            )));
+            ))
+            .into());
         }
         Ok(Self { rms, unit })
     }
@@ -86,9 +88,9 @@ pub fn calibrate_noise(
     unit: f32,
 ) -> Result<NoiseCalibration> {
     if data.is_empty() {
-        return Err(TensorError::InvalidArgument(
-            "cannot calibrate on an empty dataset".into(),
-        ));
+        return Err(
+            TensorError::InvalidArgument("cannot calibrate on an empty dataset".into()).into(),
+        );
     }
     let mut recorder = RmsRecorder::new(model.crossbar_layers());
     for (i, (images, _labels)) in data.batches(batch_size).enumerate() {

@@ -133,12 +133,13 @@ impl DeviceVgg {
                 "{} pulse counts for {} crossbar layers",
                 cfg.pulses.len(),
                 config.crossbar_layers()
-            )));
+            ))
+            .into());
         }
         if cfg.pulses.contains(&0) {
-            return Err(TensorError::InvalidArgument(
-                "pulse counts must be nonzero".into(),
-            ));
+            return Err(
+                TensorError::InvalidArgument("pulse counts must be nonzero".into()).into(),
+            );
         }
         let (mut h, mut w) = (config.in_h, config.in_w);
         let mut in_ch = config.in_channels;
@@ -362,9 +363,7 @@ impl DeviceVgg {
 fn max_pool2(x: &Tensor) -> Result<Tensor> {
     let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
     if h % 2 != 0 || w % 2 != 0 {
-        return Err(TensorError::InvalidArgument(format!(
-            "cannot 2×2-pool {h}×{w}"
-        )));
+        return Err(TensorError::InvalidArgument(format!("cannot 2×2-pool {h}×{w}")).into());
     }
     let (oh, ow) = (h / 2, w / 2);
     let src = x.as_slice();
@@ -385,7 +384,7 @@ fn max_pool2(x: &Tensor) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, oh, ow])
+    Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
 }
 
 #[cfg(test)]

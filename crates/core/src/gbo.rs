@@ -10,11 +10,19 @@
 
 use membit_autograd::{Tape, VarId};
 use membit_data::Dataset;
-use membit_nn::{Adam, MvmNoiseHook, Optimizer, ParamId, Params, Phase};
+use membit_nn::{
+    Adam, Checkpoint, MvmNoiseHook, Optimizer, ParamId, Params, Phase, Result as NnResult,
+};
 use membit_tensor::{Rng, RngStream, Tensor, TensorError};
 
 use crate::calibrate::NoiseCalibration;
+use crate::error::{DivergenceReason, TrainError};
 use crate::model::CrossbarModel;
+use crate::resilience::{
+    need_f64, need_u64, put_params, put_rng, put_state, restore_params, restore_rng, take_state,
+    ResilienceConfig,
+};
+use crate::watchdog::TrainWatchdog;
 use crate::Result;
 
 /// Hyperparameters of the GBO search.
@@ -74,17 +82,17 @@ impl GboConfig {
         if self.omega.is_empty() {
             return Err(TensorError::InvalidArgument(
                 "Ω must contain at least one scaling factor".into(),
-            ));
+            )
+            .into());
         }
         if self.omega.iter().any(|&n| n <= 0.0) {
-            return Err(TensorError::InvalidArgument(
-                "Ω entries must be positive".into(),
-            ));
+            return Err(TensorError::InvalidArgument("Ω entries must be positive".into()).into());
         }
         if self.base_pulses == 0 || self.epochs == 0 || self.batch_size == 0 || layers == 0 {
             return Err(TensorError::InvalidArgument(
                 "base_pulses, epochs, batch_size and layer count must be nonzero".into(),
-            ));
+            )
+            .into());
         }
         Ok(())
     }
@@ -129,7 +137,7 @@ struct GboSearchHook<'a> {
 }
 
 impl MvmNoiseHook for GboSearchHook<'_> {
-    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
         let lam = self
             .lambda_store
             .bind(tape, self.binding, self.lambda_ids[layer]);
@@ -148,6 +156,12 @@ impl MvmNoiseHook for GboSearchHook<'_> {
             .collect();
         tape.mix_noise(mvm_out, alpha, eps)
     }
+}
+
+/// What one search-epoch attempt produced.
+enum SearchEpoch {
+    Done { mean_loss: f32 },
+    Tripped(DivergenceReason),
 }
 
 /// Runs GBO searches against a frozen pre-trained model.
@@ -210,13 +224,43 @@ impl GboTrainer {
         calibration: &NoiseCalibration,
         paper_sigma: f32,
     ) -> Result<GboResult> {
+        self.search_resilient(
+            model,
+            params,
+            train,
+            calibration,
+            paper_sigma,
+            &ResilienceConfig::default(),
+        )
+    }
+
+    /// [`search`](Self::search) with an explicit resilience policy:
+    /// watchdog-guarded rollback of the λ optimization, periodic atomic
+    /// checkpoints of λ / Adam moments / RNG streams, and `--resume`
+    /// restore (see [`pretrain_resilient`](crate::pretrain_resilient) for
+    /// the shared semantics).
+    ///
+    /// # Errors
+    ///
+    /// As [`search`](Self::search), plus checkpoint errors and
+    /// [`TrainError::Diverged`] on unrecoverable divergence.
+    pub fn search_resilient(
+        &mut self,
+        model: &mut dyn CrossbarModel,
+        params: &Params,
+        train: &Dataset,
+        calibration: &NoiseCalibration,
+        paper_sigma: f32,
+        res: &ResilienceConfig,
+    ) -> Result<GboResult> {
         let layers = self.lambda_ids.len();
         if model.crossbar_layers() != layers || calibration.layers() != layers {
             return Err(TensorError::InvalidArgument(format!(
                 "layer count mismatch: trainer {layers}, model {}, calibration {}",
                 model.crossbar_layers(),
                 calibration.layers()
-            )));
+            ))
+            .into());
         }
         let sigma_abs = calibration.sigma_abs(paper_sigma);
         let snap_var = self.snap_variances()?;
@@ -231,64 +275,170 @@ impl GboTrainer {
         let root = Rng::from_seed(self.config.seed);
         let mut shuffle_rng = root.stream(RngStream::Data);
         let mut noise_rng = root.stream(RngStream::Noise);
+        let mut watchdog = TrainWatchdog::new(res.watchdog.clone());
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
-        for _epoch in 0..self.config.epochs {
-            let shuffled = train.shuffled(&mut shuffle_rng);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for (images, labels) in shuffled.batches(self.config.batch_size) {
-                let mut tape = Tape::new();
-                let mut weight_binding = params.frozen_binding();
-                let mut lambda_binding = self.lambda_store.binding();
-                let x = tape.constant(images);
-                // The hook borrows the λ store and binding for the
-                // duration of the forward + loss construction.
-                {
-                    let mut hook = GboSearchHook {
-                        lambda_store: &self.lambda_store,
-                        lambda_ids: &self.lambda_ids,
-                        binding: &mut lambda_binding,
-                        sigma_abs: &sigma_abs,
-                        omega: &self.config.omega,
-                        base_pulses: self.config.base_pulses,
-                        snap_var: &snap_var,
-                        rng: &mut noise_rng,
-                        alpha_vars: vec![None; layers],
-                    };
-                    let logits = model.forward(
-                        &mut tape,
-                        params,
-                        &mut weight_binding,
-                        x,
-                        Phase::Eval,
-                        &mut hook,
-                    )?;
-                    // latency term: γ · Σ_l ⟨α^l, n·p⟩
-                    let mut latency: Option<VarId> = None;
-                    for alpha in hook.alpha_vars.iter().flatten() {
-                        let term = tape.dot_const(*alpha, &cost_tensor)?;
-                        latency = Some(match latency {
-                            Some(acc) => tape.add(acc, term)?,
-                            None => term,
-                        });
-                    }
-                    let ce = tape.softmax_cross_entropy(logits, &labels)?;
-                    let loss = match latency {
-                        Some(lat) => {
-                            let weighted = tape.mul_scalar(lat, self.config.gamma);
-                            tape.add(ce, weighted)?
-                        }
-                        None => ce,
-                    };
-                    loss_sum += f64::from(tape.value(loss).item());
-                    batches += 1;
-                    tape.backward(loss)?;
-                }
-                opt.step(&mut self.lambda_store, &tape, &lambda_binding)?;
+        let mut lr_scale = 1.0f32;
+        let mut start_epoch = 0usize;
+        let mut prior_trips = 0usize;
+
+        if let Some(ckpt) = res.load_for_resume()? {
+            start_epoch = need_u64(&ckpt, "meta.epoch")? as usize;
+            lr_scale = need_f64(&ckpt, "meta.lr_scale")? as f32;
+            prior_trips = need_u64(&ckpt, "meta.trips")? as usize;
+            if let Some(losses) = ckpt.tensor("loss.epoch_losses") {
+                epoch_losses = losses.as_slice().to_vec();
             }
-            epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+            restore_params(&ckpt, &mut self.lambda_store)?;
+            opt.restore_state_tensors(&take_state(&ckpt, "opt"));
+            shuffle_rng = restore_rng(&ckpt, "shuffle")?;
+            noise_rng = restore_rng(&ckpt, "noise")?;
         }
+
+        let mut epoch = start_epoch;
+        while epoch < self.config.epochs {
+            let snap_lambda = self.lambda_store.clone();
+            let snap_opt = opt.state_tensors();
+            let snap_shuffle = shuffle_rng.clone();
+            let snap_noise = noise_rng.clone();
+            let mut retries = 0usize;
+            let mean_loss = loop {
+                opt.set_lr(self.config.lr * lr_scale);
+                let outcome = self.run_search_epoch(
+                    model,
+                    params,
+                    train,
+                    &sigma_abs,
+                    &snap_var,
+                    &cost_tensor,
+                    &mut opt,
+                    &mut shuffle_rng,
+                    &mut noise_rng,
+                    &mut watchdog,
+                )?;
+                match outcome {
+                    SearchEpoch::Done { mean_loss } => break mean_loss,
+                    SearchEpoch::Tripped(reason) => {
+                        if retries >= res.watchdog.max_retries {
+                            return Err(TrainError::Diverged {
+                                stage: "gbo".to_string(),
+                                epoch,
+                                retries,
+                                reason,
+                            });
+                        }
+                        retries += 1;
+                        self.lambda_store = snap_lambda.clone();
+                        opt = Adam::new(self.config.lr);
+                        opt.restore_state_tensors(&snap_opt);
+                        shuffle_rng = snap_shuffle.clone();
+                        noise_rng = snap_noise.clone();
+                        lr_scale *= res.watchdog.lr_backoff;
+                        watchdog.reset_epoch();
+                    }
+                }
+            };
+            epoch_losses.push(mean_loss);
+            if res.should_checkpoint(epoch) {
+                let mut ckpt = Checkpoint::new();
+                ckpt.put_u64("meta.epoch", (epoch + 1) as u64);
+                ckpt.put_f64("meta.lr_scale", f64::from(lr_scale));
+                ckpt.put_u64("meta.trips", (prior_trips + watchdog.trips()) as u64);
+                ckpt.put_tensor(
+                    "loss.epoch_losses",
+                    Tensor::from_vec(epoch_losses.clone(), &[epoch_losses.len()])?,
+                );
+                put_rng(&mut ckpt, "shuffle", &shuffle_rng);
+                put_rng(&mut ckpt, "noise", &noise_rng);
+                put_params(&mut ckpt, &self.lambda_store);
+                put_state(&mut ckpt, "opt", &opt.state_tensors());
+                res.save(&ckpt)?;
+            }
+            epoch += 1;
+        }
+        res.finish();
         Ok(self.result(epoch_losses))
+    }
+
+    /// One pass over the (re-shuffled) search set. Returns `Tripped` the
+    /// moment the watchdog flags the loss or the λ gradients.
+    #[allow(clippy::too_many_arguments)]
+    fn run_search_epoch(
+        &mut self,
+        model: &mut dyn CrossbarModel,
+        params: &Params,
+        train: &Dataset,
+        sigma_abs: &[f32],
+        snap_var: &[Vec<f32>],
+        cost_tensor: &Tensor,
+        opt: &mut Adam,
+        shuffle_rng: &mut Rng,
+        noise_rng: &mut Rng,
+        watchdog: &mut TrainWatchdog,
+    ) -> Result<SearchEpoch> {
+        let layers = self.lambda_ids.len();
+        let shuffled = train.shuffled(shuffle_rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for (images, labels) in shuffled.batches(self.config.batch_size) {
+            let mut tape = Tape::new();
+            let mut weight_binding = params.frozen_binding();
+            let mut lambda_binding = self.lambda_store.binding();
+            let x = tape.constant(images);
+            // The hook borrows the λ store and binding for the
+            // duration of the forward + loss construction.
+            {
+                let mut hook = GboSearchHook {
+                    lambda_store: &self.lambda_store,
+                    lambda_ids: &self.lambda_ids,
+                    binding: &mut lambda_binding,
+                    sigma_abs,
+                    omega: &self.config.omega,
+                    base_pulses: self.config.base_pulses,
+                    snap_var,
+                    rng: noise_rng,
+                    alpha_vars: vec![None; layers],
+                };
+                let logits = model.forward(
+                    &mut tape,
+                    params,
+                    &mut weight_binding,
+                    x,
+                    Phase::Eval,
+                    &mut hook,
+                )?;
+                // latency term: γ · Σ_l ⟨α^l, n·p⟩
+                let mut latency: Option<VarId> = None;
+                for alpha in hook.alpha_vars.iter().flatten() {
+                    let term = tape.dot_const(*alpha, cost_tensor)?;
+                    latency = Some(match latency {
+                        Some(acc) => tape.add(acc, term)?,
+                        None => term,
+                    });
+                }
+                let ce = tape.softmax_cross_entropy(logits, &labels)?;
+                let loss = match latency {
+                    Some(lat) => {
+                        let weighted = tape.mul_scalar(lat, self.config.gamma);
+                        tape.add(ce, weighted)?
+                    }
+                    None => ce,
+                };
+                let loss_value = tape.value(loss).item();
+                if let Some(reason) = watchdog.observe(loss_value) {
+                    return Ok(SearchEpoch::Tripped(reason));
+                }
+                loss_sum += f64::from(loss_value);
+                batches += 1;
+                tape.backward(loss)?;
+            }
+            if let Some(reason) = watchdog.check_grads(&tape, &lambda_binding) {
+                return Ok(SearchEpoch::Tripped(reason));
+            }
+            opt.step(&mut self.lambda_store, &tape, &lambda_binding)?;
+        }
+        Ok(SearchEpoch::Done {
+            mean_loss: (loss_sum / batches.max(1) as f64) as f32,
+        })
     }
 
     /// Per-layer, per-branch additive variance from the PLA
@@ -304,7 +454,8 @@ impl GboTrainer {
             return Err(TensorError::InvalidArgument(format!(
                 "snap_error_fan_in covers {} layers, trainer has {layers}",
                 fan_ins.len()
-            )));
+            ))
+            .into());
         }
         let levels = self.config.base_pulses + 1;
         let mut per_branch_mse = Vec::with_capacity(m);

@@ -2,7 +2,7 @@
 //! paper's evaluation.
 
 use membit_autograd::{Tape, VarId};
-use membit_nn::MvmNoiseHook;
+use membit_nn::{MvmNoiseHook, Result as NnResult};
 use membit_tensor::{Rng, TensorError};
 
 use crate::Result;
@@ -33,12 +33,13 @@ impl GaussianMvmNoise {
                 "{} sigmas but {} pulse counts",
                 sigma.len(),
                 pulses.len()
-            )));
+            ))
+            .into());
         }
         if pulses.contains(&0) {
-            return Err(TensorError::InvalidArgument(
-                "pulse counts must be nonzero".into(),
-            ));
+            return Err(
+                TensorError::InvalidArgument("pulse counts must be nonzero".into()).into(),
+            );
         }
         Ok(Self { sigma, pulses, rng })
     }
@@ -58,7 +59,7 @@ impl GaussianMvmNoise {
 }
 
 impl MvmNoiseHook for GaussianMvmNoise {
-    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
         let std = self.std_for(layer);
         if std == 0.0 {
             return Ok(mvm_out);
@@ -67,6 +68,14 @@ impl MvmNoiseHook for GaussianMvmNoise {
         let noise = self.rng.normal_tensor(&shape, 0.0, std);
         let c = tape.constant(noise);
         tape.add(mvm_out, c)
+    }
+
+    fn state_rng(&self) -> Option<&Rng> {
+        Some(&self.rng)
+    }
+
+    fn state_rng_mut(&mut self) -> Option<&mut Rng> {
+        Some(&mut self.rng)
     }
 }
 
@@ -102,12 +111,14 @@ impl PlaHook {
                 "{} sigmas but {} pulse counts",
                 sigma.len(),
                 pulses.len()
-            )));
+            ))
+            .into());
         }
         if pulses.contains(&0) || act_levels < 2 {
             return Err(TensorError::InvalidArgument(
                 "pulse counts must be nonzero and act_levels ≥ 2".into(),
-            ));
+            )
+            .into());
         }
         Ok(Self {
             pulses,
@@ -139,7 +150,7 @@ impl PlaHook {
 }
 
 impl MvmNoiseHook for PlaHook {
-    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
         let std = self.sigma[layer] / (self.pulses[layer] as f32).sqrt();
         if std == 0.0 {
             return Ok(mvm_out);
@@ -150,7 +161,7 @@ impl MvmNoiseHook for PlaHook {
         tape.add(mvm_out, c)
     }
 
-    fn encode(&mut self, tape: &mut Tape, layer: usize, input: VarId) -> Result<VarId> {
+    fn encode(&mut self, tape: &mut Tape, layer: usize, input: VarId) -> NnResult<VarId> {
         let q = self.pulses[layer];
         if q == self.act_levels - 1 || q.is_multiple_of(self.act_levels - 1) {
             // exact representation (the base code or an integer-ensemble
@@ -160,6 +171,14 @@ impl MvmNoiseHook for PlaHook {
         // snap onto the q+1 levels a q-pulse thermometer code carries,
         // with the paper's sign-directed (bias-free) tie-breaking
         tape.pla_quantize_ste(input, self.act_levels, q)
+    }
+
+    fn state_rng(&self) -> Option<&Rng> {
+        Some(&self.rng)
+    }
+
+    fn state_rng_mut(&mut self) -> Option<&mut Rng> {
+        Some(&mut self.rng)
     }
 }
 
@@ -180,7 +199,7 @@ impl SingleLayerNoise {
 }
 
 impl MvmNoiseHook for SingleLayerNoise {
-    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
         if layer != self.target || self.sigma == 0.0 {
             return Ok(mvm_out);
         }
@@ -219,11 +238,88 @@ impl RmsRecorder {
 }
 
 impl MvmNoiseHook for RmsRecorder {
-    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> Result<VarId> {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
         let v = tape.value(mvm_out);
         self.sum_sq[layer] += v.as_slice().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>();
         self.count[layer] += v.len() as u64;
         Ok(mvm_out)
+    }
+}
+
+/// When a [`NanFault`] hook injects its poison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NanFaultMode {
+    /// Inject NaN on exactly one forward pass (0-based index), then go
+    /// quiet — a transient fault the watchdog should roll back and
+    /// outlive.
+    OnceAt(usize),
+    /// Inject NaN on every forward pass from the given index onward — a
+    /// persistent fault that must surface as
+    /// [`TrainError::Diverged`](crate::TrainError::Diverged).
+    AlwaysFrom(usize),
+}
+
+/// Fault-injection hook: corrupts the first crossbar layer's MVM output
+/// with NaN on scheduled forward passes. Exists so the test suite can
+/// prove the watchdog's recovery paths actually fire; it is not a noise
+/// model.
+///
+/// The pass counter deliberately does **not** participate in rollback
+/// snapshots: a `OnceAt` fault stays spent after the watchdog rewinds,
+/// which is exactly how a transient hardware glitch behaves.
+#[derive(Debug)]
+pub struct NanFault {
+    mode: NanFaultMode,
+    passes: usize,
+}
+
+impl NanFault {
+    /// A transient fault on forward pass `n`.
+    pub fn once_at(n: usize) -> Self {
+        Self {
+            mode: NanFaultMode::OnceAt(n),
+            passes: 0,
+        }
+    }
+
+    /// A persistent fault from forward pass `n` onward.
+    pub fn always_from(n: usize) -> Self {
+        Self {
+            mode: NanFaultMode::AlwaysFrom(n),
+            passes: 0,
+        }
+    }
+
+    /// Forward passes seen so far.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    fn fires(&self, pass: usize) -> bool {
+        match self.mode {
+            NanFaultMode::OnceAt(n) => pass == n,
+            NanFaultMode::AlwaysFrom(n) => pass >= n,
+        }
+    }
+}
+
+impl MvmNoiseHook for NanFault {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
+        if layer != 0 {
+            return Ok(mvm_out);
+        }
+        let pass = self.passes;
+        self.passes += 1;
+        if !self.fires(pass) {
+            return Ok(mvm_out);
+        }
+        let shape = tape.value(mvm_out).shape().to_vec();
+        let len: usize = shape.iter().product();
+        let poison = tape.constant(membit_tensor::Tensor::from_vec(
+            vec![f32::NAN; len],
+            &shape,
+        )?);
+        tape.add(mvm_out, poison)
     }
 }
 
@@ -304,6 +400,27 @@ mod tests {
         let y = hook.apply(&mut t, 1, x).unwrap();
         assert_ne!(y, x);
         assert!(t.value(y).std() > 1.0);
+    }
+
+    #[test]
+    fn nan_fault_fires_on_schedule() {
+        let mut once = NanFault::once_at(1);
+        let mut always = NanFault::always_from(1);
+        for pass in 0..4 {
+            let (mut t, x) = setup(&[3]);
+            let y = once.apply(&mut t, 0, x).unwrap();
+            let poisoned = t.value(y).as_slice().iter().any(|v| v.is_nan());
+            assert_eq!(poisoned, pass == 1, "once_at pass {pass}");
+            let (mut t, x) = setup(&[3]);
+            let y = always.apply(&mut t, 0, x).unwrap();
+            let poisoned = t.value(y).as_slice().iter().any(|v| v.is_nan());
+            assert_eq!(poisoned, pass >= 1, "always_from pass {pass}");
+        }
+        // non-target layers are never poisoned and don't advance the counter
+        let mut h = NanFault::once_at(0);
+        let (mut t, x) = setup(&[2]);
+        assert_eq!(h.apply(&mut t, 1, x).unwrap(), x);
+        assert_eq!(h.passes(), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! use membit_nn::{Mlp, MlpConfig, Params};
 //! use membit_tensor::{Rng, RngStream};
 //!
-//! # fn main() -> Result<(), membit_tensor::TensorError> {
+//! # fn main() -> Result<(), membit_core::TrainError> {
 //! // a binary-weight model with one crossbar layer, and data
 //! let (train, test) = synth_cifar(&SynthCifarConfig::tiny(), 1)?;
 //! let mut rng = Rng::from_seed(1).stream(RngStream::Init);
@@ -58,28 +58,34 @@
 
 mod calibrate;
 mod device_eval;
+mod error;
 mod gbo;
 mod hooks;
 mod model;
 mod nia;
 mod pipeline;
 mod report;
+mod resilience;
 mod sensitivity;
 mod trainer;
+mod watchdog;
 
 pub use calibrate::{calibrate_noise, NoiseCalibration};
 pub use device_eval::{DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
+pub use error::{DivergenceReason, TrainError};
 pub use gbo::{GboConfig, GboResult, GboTrainer};
-pub use hooks::{GaussianMvmNoise, PlaHook, RmsRecorder, SingleLayerNoise};
+pub use hooks::{GaussianMvmNoise, NanFault, NanFaultMode, PlaHook, RmsRecorder, SingleLayerNoise};
 pub use model::CrossbarModel;
-pub use nia::{nia_finetune, NiaConfig};
+pub use nia::{nia_finetune, nia_finetune_resilient, NiaConfig};
 pub use pipeline::{Experiment, ExperimentConfig};
 pub use report::{markdown_table, write_csv, FaultAblationRow, Table1Row, Table2Row};
+pub use resilience::ResilienceConfig;
 pub use sensitivity::layer_sensitivity;
 pub use trainer::{
-    evaluate, evaluate_with_hook, pretrain, pretrain_with_validation, TrainConfig, TrainReport,
-    ValidatedTrainReport,
+    evaluate, evaluate_with_hook, pretrain, pretrain_resilient, pretrain_with_validation,
+    TrainConfig, TrainReport, ValidatedTrainReport,
 };
+pub use watchdog::{TrainWatchdog, WatchdogConfig};
 
-/// Convenience alias matching [`membit_tensor::Result`].
-pub type Result<T> = std::result::Result<T, membit_tensor::TensorError>;
+/// Result alias for the crate's [`TrainError`].
+pub type Result<T> = std::result::Result<T, TrainError>;

@@ -2,8 +2,38 @@
 
 use membit_autograd::{Tape, VarId};
 use membit_nn::{Binding, Mlp, MvmNoiseHook, Params, Phase, ResNet, Vgg};
+use membit_tensor::Tensor;
 
 use crate::Result;
+
+/// Flattens `(name, mean, var)` running-stat triples into the
+/// `{name}.running_mean` / `{name}.running_var` tensor list the
+/// checkpoint format stores.
+fn stats_to_tensors(stats: Vec<(String, Tensor, Tensor)>) -> Vec<(String, Tensor)> {
+    let mut out = Vec::with_capacity(stats.len() * 2);
+    for (name, mean, var) in stats {
+        out.push((format!("{name}.running_mean"), mean));
+        out.push((format!("{name}.running_var"), var));
+    }
+    out
+}
+
+/// Re-pairs `{name}.running_mean` / `{name}.running_var` entries into the
+/// triples the models' `set_running_stats` consume. Unpaired or unknown
+/// entries are ignored (the setter ignores unknown names too).
+fn tensors_to_stats(state: &[(String, Tensor)]) -> Vec<(String, Tensor, Tensor)> {
+    let mut out = Vec::new();
+    for (name, mean) in state {
+        let Some(base) = name.strip_suffix(".running_mean") else {
+            continue;
+        };
+        let var_key = format!("{base}.running_var");
+        if let Some((_, var)) = state.iter().find(|(n, _)| n == &var_key) {
+            out.push((base.to_string(), mean.clone(), var.clone()));
+        }
+    }
+    out
+}
 
 /// Any network whose crossbar-mapped layers expose MVM hook points.
 ///
@@ -27,6 +57,16 @@ pub trait CrossbarModel {
 
     /// Number of crossbar (hooked) layers.
     fn crossbar_layers(&self) -> usize;
+
+    /// Non-parameter state (batch-norm running statistics) to include in
+    /// checkpoints. Default: stateless.
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        Vec::new()
+    }
+
+    /// Restores state previously captured by
+    /// [`state_tensors`](Self::state_tensors). Unknown names are ignored.
+    fn restore_state_tensors(&mut self, _state: &[(String, Tensor)]) {}
 }
 
 impl CrossbarModel for Vgg {
@@ -39,11 +79,19 @@ impl CrossbarModel for Vgg {
         phase: Phase,
         hook: &mut dyn MvmNoiseHook,
     ) -> Result<VarId> {
-        Vgg::forward(self, tape, params, binding, x, phase, hook)
+        Ok(Vgg::forward(self, tape, params, binding, x, phase, hook)?)
     }
 
     fn crossbar_layers(&self) -> usize {
         Vgg::crossbar_layers(self)
+    }
+
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        stats_to_tensors(self.running_stats())
+    }
+
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        self.set_running_stats(&tensors_to_stats(state));
     }
 }
 
@@ -57,11 +105,19 @@ impl CrossbarModel for ResNet {
         phase: Phase,
         hook: &mut dyn MvmNoiseHook,
     ) -> Result<VarId> {
-        ResNet::forward(self, tape, params, binding, x, phase, hook)
+        Ok(ResNet::forward(self, tape, params, binding, x, phase, hook)?)
     }
 
     fn crossbar_layers(&self) -> usize {
         ResNet::crossbar_layers(self)
+    }
+
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        stats_to_tensors(self.running_stats())
+    }
+
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        self.set_running_stats(&tensors_to_stats(state));
     }
 }
 
@@ -85,11 +141,19 @@ impl CrossbarModel for Mlp {
         } else {
             x
         };
-        Mlp::forward(self, tape, params, binding, x, phase, hook)
+        Ok(Mlp::forward(self, tape, params, binding, x, phase, hook)?)
     }
 
     fn crossbar_layers(&self) -> usize {
         Mlp::crossbar_layers(self)
+    }
+
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        stats_to_tensors(self.running_stats())
+    }
+
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        self.set_running_stats(&tensors_to_stats(state));
     }
 }
 

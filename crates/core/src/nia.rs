@@ -14,7 +14,8 @@ use membit_tensor::{Rng, RngStream, TensorError};
 use crate::calibrate::NoiseCalibration;
 use crate::hooks::GaussianMvmNoise;
 use crate::model::CrossbarModel;
-use crate::trainer::{pretrain, TrainConfig, TrainReport};
+use crate::resilience::ResilienceConfig;
+use crate::trainer::{pretrain_stage, TrainConfig, TrainReport};
 use crate::Result;
 
 /// Hyperparameters for NIA fine-tuning.
@@ -67,12 +68,45 @@ pub fn nia_finetune(
     paper_sigma: f32,
     cfg: &NiaConfig,
 ) -> Result<TrainReport> {
+    nia_finetune_resilient(
+        model,
+        params,
+        train,
+        calibration,
+        paper_sigma,
+        cfg,
+        &ResilienceConfig::default(),
+    )
+}
+
+/// [`nia_finetune`] with an explicit resilience policy: the underlying
+/// noisy training loop gains watchdog-guarded rollback, periodic atomic
+/// checkpoints (including the noise hook's RNG stream, so the injected
+/// noise sequence survives a restart), and `--resume` restore. See
+/// [`pretrain_resilient`](crate::pretrain_resilient) for the shared
+/// semantics.
+///
+/// # Errors
+///
+/// As [`nia_finetune`], plus checkpoint errors and
+/// [`TrainError::Diverged`](crate::TrainError::Diverged) on unrecoverable
+/// divergence.
+pub fn nia_finetune_resilient(
+    model: &mut dyn CrossbarModel,
+    params: &mut Params,
+    train: &Dataset,
+    calibration: &NoiseCalibration,
+    paper_sigma: f32,
+    cfg: &NiaConfig,
+    res: &ResilienceConfig,
+) -> Result<TrainReport> {
     if calibration.layers() != model.crossbar_layers() {
         return Err(TensorError::InvalidArgument(format!(
             "calibration covers {} layers but model has {}",
             calibration.layers(),
             model.crossbar_layers()
-        )));
+        ))
+        .into());
     }
     let sigma_abs = calibration.sigma_abs(paper_sigma);
     let noise_rng = Rng::from_seed(cfg.seed).stream(RngStream::Noise);
@@ -90,7 +124,7 @@ pub fn nia_finetune(
         augment_flip: cfg.augment_flip,
         seed: cfg.seed,
     };
-    pretrain(model, params, train, &train_cfg, &mut hook)
+    pretrain_stage("nia", model, params, train, &train_cfg, &mut hook, res)
 }
 
 #[cfg(test)]

@@ -10,8 +10,9 @@ use membit_tensor::{Rng, RngStream, Tensor};
 use crate::calibrate::{calibrate_noise, NoiseCalibration};
 use crate::gbo::{GboConfig, GboResult, GboTrainer};
 use crate::hooks::PlaHook;
-use crate::nia::{nia_finetune, NiaConfig};
-use crate::trainer::{evaluate, evaluate_with_hook, pretrain, TrainConfig};
+use crate::nia::{nia_finetune_resilient, NiaConfig};
+use crate::resilience::ResilienceConfig;
+use crate::trainer::{evaluate, evaluate_with_hook, pretrain_resilient, TrainConfig};
 use crate::Result;
 
 /// Complete description of a reproduction run.
@@ -34,6 +35,12 @@ pub struct ExperimentConfig {
     /// Checkpoint path for pre-trained weights (loaded if present, saved
     /// after pre-training otherwise).
     pub checkpoint: Option<PathBuf>,
+    /// Directory for in-flight auto-checkpoints (one file per training
+    /// stage, deleted when the stage completes). `None` disables crash
+    /// recovery; the divergence watchdog still runs in-memory.
+    pub work_dir: Option<PathBuf>,
+    /// Resume interrupted stages from their `work_dir` auto-checkpoints.
+    pub resume: bool,
     /// Root seed.
     pub seed: u64,
 }
@@ -58,9 +65,69 @@ impl ExperimentConfig {
             eval_batch: 100,
             eval_repeats: 3,
             checkpoint: None,
+            work_dir: None,
+            resume: false,
             seed,
         }
     }
+}
+
+/// Streaming FNV-1a (64-bit) used to derive stable auto-checkpoint names
+/// from a stage's identity.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprints the current parameter values. Two stages with identical
+/// configs but different weights (e.g. a GBO search on the base model vs
+/// on an NIA-fine-tuned fork) must not share an auto-checkpoint.
+fn params_fingerprint(params: &Params) -> u64 {
+    let mut h = Fnv64::new();
+    for (name, tensor) in params.iter() {
+        h.update(name.as_bytes());
+        for &v in tensor.as_slice() {
+            h.update(&v.to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Builds the resilience policy for one training stage: an
+/// auto-checkpoint in `work_dir` named after the stage, its config
+/// tokens, and the entering parameter state, so distinct runs never
+/// collide. With no `work_dir`, checkpointing is off (in-memory watchdog
+/// only).
+fn stage_resilience(
+    config: &ExperimentConfig,
+    stage: &str,
+    tokens: &str,
+    params: &Params,
+) -> Result<ResilienceConfig> {
+    let Some(dir) = &config.work_dir else {
+        return Ok(ResilienceConfig::default());
+    };
+    std::fs::create_dir_all(dir)?;
+    let mut h = Fnv64::new();
+    h.update(stage.as_bytes());
+    h.update(tokens.as_bytes());
+    h.update(&params_fingerprint(params).to_le_bytes());
+    let path = dir.join(format!("{stage}_{:016x}.ckpt", h.finish()));
+    Ok(ResilienceConfig::auto(path, config.resume))
 }
 
 /// A set-up experiment: trained model, data splits and calibration.
@@ -89,7 +156,7 @@ impl Experiment {
 
         let loaded = match &config.checkpoint {
             Some(path) if path.exists() => {
-                let entries = load_params(path).map_err(io_err)?;
+                let entries = load_params(path)?;
                 let mut stats: Vec<(String, Tensor, Tensor)> = Vec::new();
                 let mut pending_mean: Vec<(String, Tensor)> = Vec::new();
                 for (name, tensor) in entries {
@@ -112,12 +179,18 @@ impl Experiment {
             _ => false,
         };
         if !loaded {
-            pretrain(
+            let tokens = format!(
+                "seed{} epochs{} lr{}",
+                config.train.seed, config.train.epochs, config.train.lr
+            );
+            let res = stage_resilience(&config, "pretrain", &tokens, &params)?;
+            pretrain_resilient(
                 &mut model,
                 &mut params,
                 &train_set,
                 &config.train,
                 &mut NoNoise,
+                &res,
             )?;
             if let Some(path) = &config.checkpoint {
                 let extra: Vec<(String, Tensor)> = model
@@ -130,7 +203,7 @@ impl Experiment {
                         ]
                     })
                     .collect();
-                save_params(path, &params, &extra).map_err(io_err)?;
+                save_params(path, &params, &extra)?;
             }
         }
         let calibration = calibrate_noise(
@@ -235,13 +308,19 @@ impl Experiment {
     /// Propagates search errors.
     pub fn run_gbo(&mut self, sigma: f32, mut gbo: GboConfig) -> Result<GboResult> {
         gbo.seed ^= self.config.seed;
+        let tokens = format!(
+            "sigma{sigma} gamma{} epochs{} seed{}",
+            gbo.gamma, gbo.epochs, gbo.seed
+        );
+        let res = stage_resilience(&self.config, "gbo", &tokens, &self.params)?;
         let mut trainer = GboTrainer::new(self.model.crossbar_layers(), gbo)?;
-        trainer.search(
+        trainer.search_resilient(
             &mut self.model,
             &self.params,
             &self.train_set,
             &self.calibration,
             sigma,
+            &res,
         )
     }
 
@@ -252,13 +331,16 @@ impl Experiment {
     ///
     /// Propagates training errors.
     pub fn run_nia(&mut self, sigma: f32, cfg: &NiaConfig) -> Result<()> {
-        nia_finetune(
+        let tokens = format!("sigma{sigma} epochs{} seed{}", cfg.epochs, cfg.seed);
+        let res = stage_resilience(&self.config, "nia", &tokens, &self.params)?;
+        nia_finetune_resilient(
             &mut self.model,
             &mut self.params,
             &self.train_set,
             &self.calibration,
             sigma,
             cfg,
+            &res,
         )?;
         // recalibrate: fine-tuned weights shift layer statistics
         self.calibration = calibrate_noise(
@@ -287,10 +369,6 @@ impl Experiment {
             test_set: self.test_set.clone(),
         }
     }
-}
-
-fn io_err(e: std::io::Error) -> membit_tensor::TensorError {
-    membit_tensor::TensorError::InvalidArgument(format!("checkpoint io: {e}"))
 }
 
 #[cfg(test)]

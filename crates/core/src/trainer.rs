@@ -1,12 +1,21 @@
-//! Training and evaluation loops.
+//! Training and evaluation loops, with crash-safe checkpointing and a
+//! divergence watchdog.
 
 use membit_autograd::Tape;
 use membit_data::Dataset;
-use membit_nn::{accuracy, MvmNoiseHook, NoNoise, Optimizer, Params, Phase, Sgd, StepLr};
+use membit_nn::{
+    accuracy, Checkpoint, MvmNoiseHook, NoNoise, Optimizer, Params, Phase, Sgd, StepLr,
+};
 
-use membit_tensor::{Rng, RngStream, TensorError};
+use membit_tensor::{Rng, RngStream, Tensor, TensorError};
 
+use crate::error::{DivergenceReason, TrainError};
 use crate::model::CrossbarModel;
+use crate::resilience::{
+    need_f64, need_u64, put_params, put_rng, put_state, restore_params, restore_rng, take_state,
+    ResilienceConfig,
+};
+use crate::watchdog::TrainWatchdog;
 use crate::Result;
 
 /// Hyperparameters for the pre-training stage (paper §IV-A: SGD, momentum
@@ -46,9 +55,10 @@ impl TrainConfig {
 
     fn validate(&self) -> Result<()> {
         if self.epochs == 0 || self.batch_size == 0 {
-            return Err(TensorError::InvalidArgument(
-                "epochs and batch_size must be nonzero".into(),
-            ));
+            return Err(
+                TensorError::InvalidArgument("epochs and batch_size must be nonzero".into())
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -61,6 +71,9 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Training accuracy of the final epoch (on the fly, train-mode BN).
     pub final_train_acc: f32,
+    /// How many times the divergence watchdog tripped (and the loop
+    /// rolled back) over the whole run, including resumed history.
+    pub watchdog_trips: usize,
 }
 
 /// Flips a `[N, C, H, W]` batch horizontally, sample-wise at random.
@@ -94,9 +107,14 @@ fn flip_batch(images: &membit_tensor::Tensor, rng: &mut Rng) -> membit_tensor::T
 /// hook (use [`NoNoise`] for the paper's clean pre-training, or a noise
 /// hook for NIA-style noise-aware training).
 ///
+/// Equivalent to [`pretrain_resilient`] with the default
+/// [`ResilienceConfig`]: no on-disk checkpointing, watchdog armed with
+/// default thresholds.
+///
 /// # Errors
 ///
-/// Propagates tape/shape errors and rejects degenerate configs.
+/// Propagates tape/shape errors, rejects degenerate configs, and fails
+/// with [`TrainError::Diverged`] when the watchdog exhausts its retries.
 pub fn pretrain(
     model: &mut dyn CrossbarModel,
     params: &mut Params,
@@ -104,46 +122,229 @@ pub fn pretrain(
     cfg: &TrainConfig,
     hook: &mut dyn MvmNoiseHook,
 ) -> Result<TrainReport> {
+    pretrain_resilient(model, params, train, cfg, hook, &ResilienceConfig::default())
+}
+
+/// [`pretrain`] with an explicit resilience policy: periodic atomic
+/// checkpoints, `--resume` restore, and watchdog-guarded rollback.
+///
+/// Each completed epoch is snapshotted in memory (parameters, batch-norm
+/// statistics, optimizer moments, RNG streams). When the watchdog trips
+/// mid-epoch, the loop rolls the snapshot back, scales the learning rate
+/// by `watchdog.lr_backoff`, and replays the epoch — up to
+/// `watchdog.max_retries` times before failing with
+/// [`TrainError::Diverged`]. With `res.checkpoint` set, the same state is
+/// also persisted atomically every `res.every_epochs` epochs, and
+/// `res.resume` restores it so an interrupted run continues bit-for-bit
+/// identically to an uninterrupted one.
+///
+/// # Errors
+///
+/// Propagates tape/shape/checkpoint errors; [`TrainError::Diverged`] on
+/// unrecoverable divergence.
+pub fn pretrain_resilient(
+    model: &mut dyn CrossbarModel,
+    params: &mut Params,
+    train: &Dataset,
+    cfg: &TrainConfig,
+    hook: &mut dyn MvmNoiseHook,
+    res: &ResilienceConfig,
+) -> Result<TrainReport> {
+    pretrain_stage("pretrain", model, params, train, cfg, hook, res)
+}
+
+/// What one epoch attempt produced.
+enum EpochRun {
+    Done { mean_loss: f32, train_acc: f32 },
+    Tripped(DivergenceReason),
+}
+
+/// Everything needed to rewind to the last good epoch boundary.
+struct Snapshot {
+    params: Params,
+    model_state: Vec<(String, Tensor)>,
+    opt_state: Vec<(String, Tensor)>,
+    shuffle_rng: Rng,
+    aug_rng: Rng,
+    hook_rng: Option<Rng>,
+}
+
+pub(crate) fn pretrain_stage(
+    stage: &str,
+    model: &mut dyn CrossbarModel,
+    params: &mut Params,
+    train: &Dataset,
+    cfg: &TrainConfig,
+    hook: &mut dyn MvmNoiseHook,
+    res: &ResilienceConfig,
+) -> Result<TrainReport> {
     cfg.validate()?;
-    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
     let schedule = StepLr::paper(cfg.lr, cfg.epochs);
     let root = Rng::from_seed(cfg.seed);
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
     let mut shuffle_rng = root.stream(RngStream::Data);
     let mut aug_rng = root.stream(RngStream::Custom(77));
+    let mut watchdog = TrainWatchdog::new(res.watchdog.clone());
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut final_train_acc = 0.0;
-    for epoch in 0..cfg.epochs {
-        schedule.apply(&mut opt, epoch);
-        let shuffled = train.shuffled(&mut shuffle_rng);
-        let mut loss_sum = 0.0f64;
-        let mut batches = 0usize;
-        let mut correct = 0usize;
-        let mut seen = 0usize;
-        for (images, labels) in shuffled.batches(cfg.batch_size) {
-            let images = if cfg.augment_flip {
-                flip_batch(&images, &mut aug_rng)
-            } else {
-                images
-            };
-            let mut tape = Tape::new();
-            let mut binding = params.binding();
-            let x = tape.constant(images);
-            let logits = model.forward(&mut tape, params, &mut binding, x, Phase::Train, hook)?;
-            let loss = tape.softmax_cross_entropy(logits, &labels)?;
-            loss_sum += f64::from(tape.value(loss).item());
-            batches += 1;
-            correct += (accuracy(tape.value(logits), &labels)? * labels.len() as f32).round()
-                as usize;
-            seen += labels.len();
-            tape.backward(loss)?;
-            opt.step(params, &tape, &binding)?;
+    let mut final_train_acc = 0.0f32;
+    let mut lr_scale = 1.0f32;
+    let mut start_epoch = 0usize;
+    let mut prior_trips = 0usize;
+
+    if let Some(ckpt) = res.load_for_resume()? {
+        start_epoch = need_u64(&ckpt, "meta.epoch")? as usize;
+        lr_scale = need_f64(&ckpt, "meta.lr_scale")? as f32;
+        final_train_acc = need_f64(&ckpt, "meta.final_train_acc")? as f32;
+        prior_trips = need_u64(&ckpt, "meta.trips")? as usize;
+        if let Some(losses) = ckpt.tensor("loss.epoch_losses") {
+            epoch_losses = losses.as_slice().to_vec();
         }
-        epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
-        final_train_acc = correct as f32 / seen.max(1) as f32;
+        restore_params(&ckpt, params)?;
+        model.restore_state_tensors(&take_state(&ckpt, "state"));
+        opt.restore_state_tensors(&take_state(&ckpt, "opt"));
+        shuffle_rng = restore_rng(&ckpt, "shuffle")?;
+        aug_rng = restore_rng(&ckpt, "aug")?;
+        if let Some(hr) = hook.state_rng_mut() {
+            *hr = restore_rng(&ckpt, "hook")?;
+        }
     }
+
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        let snapshot = Snapshot {
+            params: params.clone(),
+            model_state: model.state_tensors(),
+            opt_state: opt.state_tensors(),
+            shuffle_rng: shuffle_rng.clone(),
+            aug_rng: aug_rng.clone(),
+            hook_rng: hook.state_rng().cloned(),
+        };
+        let mut retries = 0usize;
+        let (mean_loss, train_acc) = loop {
+            opt.set_lr(schedule.lr_at(epoch) * lr_scale);
+            let outcome = run_one_epoch(
+                model,
+                params,
+                train,
+                cfg,
+                hook,
+                &mut opt,
+                &mut shuffle_rng,
+                &mut aug_rng,
+                &mut watchdog,
+            )?;
+            match outcome {
+                EpochRun::Done {
+                    mean_loss,
+                    train_acc,
+                } => break (mean_loss, train_acc),
+                EpochRun::Tripped(reason) => {
+                    if retries >= res.watchdog.max_retries {
+                        return Err(TrainError::Diverged {
+                            stage: stage.to_string(),
+                            epoch,
+                            retries,
+                            reason,
+                        });
+                    }
+                    retries += 1;
+                    *params = snapshot.params.clone();
+                    model.restore_state_tensors(&snapshot.model_state);
+                    opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+                    opt.restore_state_tensors(&snapshot.opt_state);
+                    shuffle_rng = snapshot.shuffle_rng.clone();
+                    aug_rng = snapshot.aug_rng.clone();
+                    if let (Some(hr), Some(saved)) =
+                        (hook.state_rng_mut(), snapshot.hook_rng.as_ref())
+                    {
+                        *hr = saved.clone();
+                    }
+                    lr_scale *= res.watchdog.lr_backoff;
+                    watchdog.reset_epoch();
+                }
+            }
+        };
+        epoch_losses.push(mean_loss);
+        final_train_acc = train_acc;
+        if res.should_checkpoint(epoch) {
+            let mut ckpt = Checkpoint::new();
+            ckpt.put_u64("meta.epoch", (epoch + 1) as u64);
+            ckpt.put_f64("meta.lr_scale", f64::from(lr_scale));
+            ckpt.put_f64("meta.final_train_acc", f64::from(final_train_acc));
+            ckpt.put_u64("meta.trips", (prior_trips + watchdog.trips()) as u64);
+            ckpt.put_tensor(
+                "loss.epoch_losses",
+                Tensor::from_vec(epoch_losses.clone(), &[epoch_losses.len()])?,
+            );
+            put_rng(&mut ckpt, "shuffle", &shuffle_rng);
+            put_rng(&mut ckpt, "aug", &aug_rng);
+            if let Some(hr) = hook.state_rng() {
+                put_rng(&mut ckpt, "hook", hr);
+            }
+            put_params(&mut ckpt, params);
+            put_state(&mut ckpt, "state", &model.state_tensors());
+            put_state(&mut ckpt, "opt", &opt.state_tensors());
+            res.save(&ckpt)?;
+        }
+        epoch += 1;
+    }
+    res.finish();
     Ok(TrainReport {
         epoch_losses,
         final_train_acc,
+        watchdog_trips: prior_trips + watchdog.trips(),
+    })
+}
+
+/// One pass over the (re-shuffled) training set. Returns `Tripped` the
+/// moment the watchdog flags the loss or gradients — before the
+/// poisonous optimizer step is applied.
+#[allow(clippy::too_many_arguments)]
+fn run_one_epoch(
+    model: &mut dyn CrossbarModel,
+    params: &mut Params,
+    train: &Dataset,
+    cfg: &TrainConfig,
+    hook: &mut dyn MvmNoiseHook,
+    opt: &mut Sgd,
+    shuffle_rng: &mut Rng,
+    aug_rng: &mut Rng,
+    watchdog: &mut TrainWatchdog,
+) -> Result<EpochRun> {
+    let shuffled = train.shuffled(shuffle_rng);
+    let mut loss_sum = 0.0f64;
+    let mut batches = 0usize;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for (images, labels) in shuffled.batches(cfg.batch_size) {
+        let images = if cfg.augment_flip {
+            flip_batch(&images, aug_rng)
+        } else {
+            images
+        };
+        let mut tape = Tape::new();
+        let mut binding = params.binding();
+        let x = tape.constant(images);
+        let logits = model.forward(&mut tape, params, &mut binding, x, Phase::Train, hook)?;
+        let loss = tape.softmax_cross_entropy(logits, &labels)?;
+        let loss_value = tape.value(loss).item();
+        if let Some(reason) = watchdog.observe(loss_value) {
+            return Ok(EpochRun::Tripped(reason));
+        }
+        loss_sum += f64::from(loss_value);
+        batches += 1;
+        correct +=
+            (accuracy(tape.value(logits), &labels)? * labels.len() as f32).round() as usize;
+        seen += labels.len();
+        tape.backward(loss)?;
+        if let Some(reason) = watchdog.check_grads(&tape, &binding) {
+            return Ok(EpochRun::Tripped(reason));
+        }
+        opt.step(params, &tape, &binding)?;
+    }
+    Ok(EpochRun::Done {
+        mean_loss: (loss_sum / batches.max(1) as f64) as f32,
+        train_acc: correct as f32 / seen.max(1) as f32,
     })
 }
 

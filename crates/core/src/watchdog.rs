@@ -1,0 +1,230 @@
+//! The divergence watchdog: per-batch numerical health checks for every
+//! training loop in this crate.
+//!
+//! The watchdog is a small state machine wrapped around an exponential
+//! moving average of the batch loss:
+//!
+//! ```text
+//!         observe(loss)                    healthy → update EMA
+//!   ┌────────────────────┐
+//!   │  loss NaN/Inf?     │──► NonFiniteLoss ─┐
+//!   │  grads NaN/Inf?    │──► NonFiniteGrad ─┼─► caller rolls back to the
+//!   │  loss ≫ EMA after  │                   │   last good epoch snapshot,
+//!   │  warmup?           │──► LossSpike ─────┘   scales LR down, retries;
+//!   └────────────────────┘                       after `max_retries` the
+//!                                                run fails with
+//!                                                [`TrainError::Diverged`]
+//! ```
+//!
+//! The training loops own the rollback mechanics (snapshots, LR backoff,
+//! retry budget — see `pretrain_resilient`); this module owns detection.
+//!
+//! [`TrainError::Diverged`]: crate::TrainError::Diverged
+
+use membit_autograd::Tape;
+use membit_nn::Binding;
+
+use crate::error::DivergenceReason;
+
+/// Tuning knobs for the [`TrainWatchdog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Rollback attempts per epoch before the run fails with
+    /// [`Diverged`](crate::TrainError::Diverged).
+    pub max_retries: usize,
+    /// A batch loss above `spike_factor × EMA` (after warmup) counts as
+    /// divergence. Set very large to effectively disable spike detection.
+    pub spike_factor: f32,
+    /// Batches observed before spike detection arms (the EMA needs a few
+    /// samples to mean anything; NaN/Inf checks are always armed).
+    pub warmup_batches: usize,
+    /// EMA decay per batch (closer to 1 = smoother).
+    pub ema_decay: f32,
+    /// Also scan parameter gradients for NaN/Inf before each optimizer
+    /// step (catches corruption the scalar loss hides).
+    pub check_grads: bool,
+    /// Learning-rate multiplier applied on every rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            spike_factor: 25.0,
+            warmup_batches: 8,
+            ema_decay: 0.9,
+            check_grads: true,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+/// Per-batch numerical health monitor (see the module docs for the state
+/// machine).
+#[derive(Debug, Clone)]
+pub struct TrainWatchdog {
+    config: WatchdogConfig,
+    ema: Option<f32>,
+    observed: usize,
+    trips: usize,
+}
+
+impl TrainWatchdog {
+    /// Creates a watchdog with the given thresholds.
+    pub fn new(config: WatchdogConfig) -> Self {
+        Self {
+            config,
+            ema: None,
+            observed: 0,
+            trips: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Number of times the watchdog has tripped so far.
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Feeds one batch loss. Returns `Some(reason)` when the loss is
+    /// unhealthy — the caller must then roll back and call
+    /// [`reset_epoch`](Self::reset_epoch). Healthy losses update the EMA.
+    pub fn observe(&mut self, loss: f32) -> Option<DivergenceReason> {
+        if !loss.is_finite() {
+            self.trips += 1;
+            return Some(DivergenceReason::NonFiniteLoss);
+        }
+        if self.observed >= self.config.warmup_batches {
+            if let Some(ema) = self.ema {
+                if ema > 0.0 && loss > ema * self.config.spike_factor {
+                    self.trips += 1;
+                    return Some(DivergenceReason::LossSpike { loss, ema });
+                }
+            }
+        }
+        let d = self.config.ema_decay;
+        self.ema = Some(match self.ema {
+            Some(ema) => ema * d + loss * (1.0 - d),
+            None => loss,
+        });
+        self.observed += 1;
+        None
+    }
+
+    /// Scans the gradients of every bound parameter. Returns
+    /// `Some(NonFiniteGrad)` (and counts a trip) if any is NaN/Inf; `None`
+    /// when healthy or gradient checking is disabled.
+    pub fn check_grads(&mut self, tape: &Tape, binding: &Binding) -> Option<DivergenceReason> {
+        if !self.config.check_grads {
+            return None;
+        }
+        for (_, var) in binding.bound() {
+            if let Some(grad) = tape.grad(var) {
+                if grad.as_slice().iter().any(|v| !v.is_finite()) {
+                    self.trips += 1;
+                    return Some(DivergenceReason::NonFiniteGrad);
+                }
+            }
+        }
+        None
+    }
+
+    /// Clears the loss statistics after a rollback (the replayed epoch
+    /// must not be judged against the diverged run's EMA).
+    pub fn reset_epoch(&mut self) {
+        self.ema = None;
+        self.observed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use membit_nn::Params;
+    use membit_tensor::Tensor;
+
+    fn watchdog(warmup: usize, factor: f32) -> TrainWatchdog {
+        TrainWatchdog::new(WatchdogConfig {
+            warmup_batches: warmup,
+            spike_factor: factor,
+            ..WatchdogConfig::default()
+        })
+    }
+
+    #[test]
+    fn nan_and_inf_always_trip() {
+        let mut w = watchdog(100, 10.0);
+        assert_eq!(w.observe(f32::NAN), Some(DivergenceReason::NonFiniteLoss));
+        assert_eq!(
+            w.observe(f32::INFINITY),
+            Some(DivergenceReason::NonFiniteLoss)
+        );
+        assert_eq!(w.trips(), 2);
+    }
+
+    #[test]
+    fn spike_requires_warmup() {
+        let mut w = watchdog(3, 5.0);
+        // during warmup even a huge jump passes
+        assert!(w.observe(1.0).is_none());
+        assert!(w.observe(100.0).is_none());
+        // after warmup, a jump above factor × EMA trips
+        let mut w = watchdog(2, 5.0);
+        assert!(w.observe(1.0).is_none());
+        assert!(w.observe(1.0).is_none());
+        assert!(w.observe(1.1).is_none());
+        match w.observe(50.0) {
+            Some(DivergenceReason::LossSpike { loss, .. }) => assert_eq!(loss, 50.0),
+            other => panic!("expected spike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_loss_never_trips() {
+        let mut w = watchdog(2, 4.0);
+        for i in 0..100 {
+            let loss = 2.0 + (i as f32 * 0.7).sin() * 0.5;
+            assert!(w.observe(loss).is_none(), "tripped at batch {i}");
+        }
+        assert_eq!(w.trips(), 0);
+    }
+
+    #[test]
+    fn reset_epoch_rearms_warmup() {
+        let mut w = watchdog(1, 3.0);
+        assert!(w.observe(1.0).is_none());
+        assert!(w.observe(1.0).is_none());
+        w.reset_epoch();
+        // first post-reset batch is warmup again: no spike judgement
+        assert!(w.observe(100.0).is_none());
+    }
+
+    #[test]
+    fn grad_check_finds_nan() {
+        let mut params = Params::new();
+        let id = params.register("w", Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let mut tape = Tape::new();
+        let mut binding = params.binding();
+        let w = params.bind(&mut tape, &mut binding, id);
+        // loss = w · NaN ⇒ ∂loss/∂w = NaN
+        let c = tape.constant(Tensor::from_vec(vec![f32::NAN], &[1]).unwrap());
+        let l = tape.mul(w, c).unwrap();
+        let loss = tape.sum_all(l);
+        tape.backward(loss).unwrap();
+        let mut dog = TrainWatchdog::new(WatchdogConfig::default());
+        assert_eq!(
+            dog.check_grads(&tape, &binding),
+            Some(DivergenceReason::NonFiniteGrad)
+        );
+        let mut off = TrainWatchdog::new(WatchdogConfig {
+            check_grads: false,
+            ..WatchdogConfig::default()
+        });
+        assert_eq!(off.check_grads(&tape, &binding), None);
+    }
+}

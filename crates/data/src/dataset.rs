@@ -18,8 +18,9 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidArgument`] if the label count doesn't
-    /// match the image count, a label is out of range, or images are not
-    /// rank 4.
+    /// match the image count, a label is out of range, images are not
+    /// rank 4, or any pixel is NaN/±Inf (corrupted inputs poison the loss
+    /// many batches later — reject them at the door instead).
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
         if images.rank() != 4 {
             return Err(TensorError::RankMismatch {
@@ -38,6 +39,13 @@ impl Dataset {
         if let Some(&bad) = labels.iter().find(|&&y| y >= num_classes) {
             return Err(TensorError::InvalidArgument(format!(
                 "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        if let Some(pos) = images.as_slice().iter().position(|v| !v.is_finite()) {
+            let per = images.len() / labels.len().max(1);
+            return Err(TensorError::InvalidArgument(format!(
+                "non-finite pixel at flat index {pos} (sample {})",
+                pos / per.max(1)
             )));
         }
         Ok(Self {
@@ -157,6 +165,19 @@ mod tests {
         assert!(Dataset::new(Tensor::zeros(&[2, 3]), vec![0, 0], 1).is_err());
         assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0], 1).is_err());
         assert!(Dataset::new(Tensor::zeros(&[2, 1, 2, 2]), vec![0, 5], 3).is_err());
+    }
+
+    #[test]
+    fn non_finite_pixels_rejected() {
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut data = vec![0.0f32; 8];
+            data[6] = poison;
+            let images = Tensor::from_vec(data, &[2, 1, 2, 2]).unwrap();
+            let err = Dataset::new(images, vec![0, 1], 2).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("non-finite"), "{msg}");
+            assert!(msg.contains("sample 1"), "{msg}");
+        }
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub trait MvmNoiseHook {
     fn encode(&mut self, _tape: &mut Tape, _layer: usize, input: VarId) -> Result<VarId> {
         Ok(input)
     }
+
+    /// The hook's RNG stream, if it draws randomness — lets checkpointing
+    /// freeze and restore the stream so an interrupted noise-injected run
+    /// resumes bit-for-bit. Deterministic hooks return `None`.
+    fn state_rng(&self) -> Option<&membit_tensor::Rng> {
+        None
+    }
+
+    /// Mutable access to the hook's RNG stream (see
+    /// [`state_rng`](MvmNoiseHook::state_rng)).
+    fn state_rng_mut(&mut self) -> Option<&mut membit_tensor::Rng> {
+        None
+    }
 }
 
 /// The identity hook: an ideal, noise-free crossbar.

@@ -34,7 +34,7 @@
 #![warn(missing_docs)]
 
 mod batchnorm;
-mod checkpoint;
+pub mod checkpoint;
 mod conv;
 mod hooks;
 mod linear;
@@ -47,7 +47,7 @@ mod schedule;
 mod vgg;
 
 pub use batchnorm::BatchNorm;
-pub use checkpoint::{load_params, save_params};
+pub use checkpoint::{load_params, save_params, Checkpoint, CheckpointError};
 pub use conv::Conv2d;
 pub use hooks::{MvmNoiseHook, NoNoise};
 pub use linear::Linear;

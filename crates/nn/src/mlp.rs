@@ -116,6 +116,43 @@ impl Mlp {
         self.hidden.iter().map(|l| l.in_features() as f32).collect()
     }
 
+    /// Running statistics of every batch-norm layer, keyed by layer name —
+    /// part of the checkpoint alongside [`Params`] (mirrors
+    /// [`Vgg::running_stats`](crate::Vgg::running_stats)).
+    pub fn running_stats(
+        &self,
+    ) -> Vec<(String, membit_tensor::Tensor, membit_tensor::Tensor)> {
+        self.bns
+            .iter()
+            .enumerate()
+            .map(|(i, bn)| {
+                (
+                    format!("mlp_bn{i}"),
+                    bn.running_mean().clone(),
+                    bn.running_var().clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Restores running statistics saved by
+    /// [`running_stats`](Self::running_stats). Unknown names are ignored.
+    pub fn set_running_stats(
+        &mut self,
+        stats: &[(String, membit_tensor::Tensor, membit_tensor::Tensor)],
+    ) {
+        for (name, mean, var) in stats {
+            if let Some(idx) = name
+                .strip_prefix("mlp_bn")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                if idx < self.bns.len() {
+                    self.bns[idx].set_running_stats(mean.clone(), var.clone());
+                }
+            }
+        }
+    }
+
     /// Runs the network on `x` (`[N, in_dim]`), returning logits.
     ///
     /// # Errors

@@ -25,6 +25,32 @@ pub trait Optimizer {
 
     /// Current learning rate.
     fn lr(&self) -> f32;
+
+    /// Internal state (momenta, step counters) as named tensors, for
+    /// checkpointing. Stateless optimizers return an empty vec.
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        Vec::new()
+    }
+
+    /// Restores state previously captured by
+    /// [`state_tensors`](Optimizer::state_tensors). Unknown names are
+    /// ignored so checkpoints stay forward-compatible.
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        let _ = state;
+    }
+}
+
+/// Parses the slot index out of a state key like `"m17"` / `"v3"`.
+fn slot_index(key: &str, prefix: char) -> Option<usize> {
+    key.strip_prefix(prefix).and_then(|s| s.parse().ok())
+}
+
+/// Grows `slots` so index `idx` is addressable.
+fn ensure_slot(slots: &mut Vec<Option<Tensor>>, idx: usize) -> &mut Option<Tensor> {
+    if slots.len() <= idx {
+        slots.resize(idx + 1, None);
+    }
+    &mut slots[idx]
 }
 
 /// Stochastic gradient descent with classical momentum and decoupled-style
@@ -84,6 +110,22 @@ impl Optimizer for Sgd {
 
     fn lr(&self) -> f32 {
         self.lr
+    }
+
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        self.velocity
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|t| (format!("v{i}"), t.clone())))
+            .collect()
+    }
+
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        for (key, tensor) in state {
+            if let Some(idx) = slot_index(key, 'v') {
+                *ensure_slot(&mut self.velocity, idx) = Some(tensor.clone());
+            }
+        }
     }
 }
 
@@ -150,6 +192,36 @@ impl Optimizer for Adam {
 
     fn lr(&self) -> f32 {
         self.lr
+    }
+
+    fn state_tensors(&self) -> Vec<(String, Tensor)> {
+        let mut out = vec![(
+            "t".to_string(),
+            Tensor::from_vec(vec![self.t as f32], &[1]).expect("scalar tensor"),
+        )];
+        for (i, m) in self.m.iter().enumerate() {
+            if let Some(t) = m {
+                out.push((format!("m{i}"), t.clone()));
+            }
+        }
+        for (i, v) in self.v.iter().enumerate() {
+            if let Some(t) = v {
+                out.push((format!("v{i}"), t.clone()));
+            }
+        }
+        out
+    }
+
+    fn restore_state_tensors(&mut self, state: &[(String, Tensor)]) {
+        for (key, tensor) in state {
+            if key == "t" {
+                self.t = tensor.item() as u64;
+            } else if let Some(idx) = slot_index(key, 'm') {
+                *ensure_slot(&mut self.m, idx) = Some(tensor.clone());
+            } else if let Some(idx) = slot_index(key, 'v') {
+                *ensure_slot(&mut self.v, idx) = Some(tensor.clone());
+            }
+        }
     }
 }
 
@@ -226,6 +298,61 @@ mod tests {
         let mut adam = Adam::new(1e-3);
         adam.set_lr(1e-4);
         assert!((adam.lr() - 1e-4).abs() < 1e-9);
+    }
+
+    /// Runs `steps` optimizer steps on a fresh quadratic problem, starting
+    /// from `start` and restoring `state` first if given; returns the
+    /// final θ and the optimizer state.
+    fn run_from(
+        opt: &mut dyn Optimizer,
+        start: &Tensor,
+        state: Option<&[(String, Tensor)]>,
+        steps: usize,
+    ) -> (Tensor, Vec<(String, Tensor)>) {
+        let mut params = Params::new();
+        let id = params.register("theta", start.clone());
+        if let Some(s) = state {
+            opt.restore_state_tensors(s);
+        }
+        let target = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let mut binding = params.binding();
+            let theta = params.bind(&mut tape, &mut binding, id);
+            let t = tape.constant(target.clone());
+            let d = tape.sub(theta, t).unwrap();
+            let sq = tape.mul(d, d).unwrap();
+            let loss = tape.sum_all(sq);
+            tape.backward(loss).unwrap();
+            opt.step(&mut params, &tape, &binding).unwrap();
+        }
+        (params.get(id).clone(), opt.state_tensors())
+    }
+
+    /// Checkpointed state must make a split run bitwise-identical to an
+    /// uninterrupted one (the property resume determinism relies on).
+    #[test]
+    fn state_roundtrip_matches_uninterrupted_run() {
+        let start = Tensor::from_vec(vec![5.0, -3.0], &[2]).unwrap();
+        for fresh in [
+            || Box::new(Sgd::new(0.05, 0.9, 1e-4)) as Box<dyn Optimizer>,
+            || Box::new(Adam::new(0.1)) as Box<dyn Optimizer>,
+        ] {
+            let (full, _) = run_from(&mut *fresh(), &start, None, 10);
+            let (mid, state) = run_from(&mut *fresh(), &start, None, 4);
+            let (resumed, _) = run_from(&mut *fresh(), &mid, Some(&state), 6);
+            assert_eq!(full.as_slice(), resumed.as_slice());
+        }
+    }
+
+    #[test]
+    fn restore_ignores_unknown_keys() {
+        let mut opt = Adam::new(0.1);
+        opt.restore_state_tensors(&[
+            ("bogus".to_string(), Tensor::ones(&[1])),
+            ("q7".to_string(), Tensor::ones(&[1])),
+        ]);
+        assert_eq!(opt.state_tensors().len(), 1); // just "t"
     }
 
     #[test]

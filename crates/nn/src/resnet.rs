@@ -232,6 +232,63 @@ impl ResNet {
         self.config.crossbar_layers()
     }
 
+    /// Running statistics of every batch-norm layer, keyed by layer name —
+    /// part of the checkpoint alongside [`Params`] (mirrors
+    /// [`Vgg::running_stats`](crate::Vgg::running_stats)).
+    pub fn running_stats(
+        &self,
+    ) -> Vec<(String, membit_tensor::Tensor, membit_tensor::Tensor)> {
+        let stat = |name: String, bn: &BatchNorm| {
+            (name, bn.running_mean().clone(), bn.running_var().clone())
+        };
+        let mut out = vec![stat("res_stem_bn".into(), &self.stem_bn)];
+        for (i, block) in self.blocks.iter().enumerate() {
+            out.push(stat(format!("res_b{i}_bn1"), &block.bn1));
+            out.push(stat(format!("res_b{i}_bn2"), &block.bn2));
+            if let Some((_, proj_bn)) = &block.projection {
+                out.push(stat(format!("res_b{i}_proj_bn"), proj_bn));
+            }
+        }
+        out
+    }
+
+    /// Restores running statistics saved by
+    /// [`running_stats`](Self::running_stats). Unknown names are ignored.
+    pub fn set_running_stats(
+        &mut self,
+        stats: &[(String, membit_tensor::Tensor, membit_tensor::Tensor)],
+    ) {
+        for (name, mean, var) in stats {
+            if name == "res_stem_bn" {
+                self.stem_bn.set_running_stats(mean.clone(), var.clone());
+                continue;
+            }
+            let Some(rest) = name.strip_prefix("res_b") else {
+                continue;
+            };
+            let Some((idx_str, which)) = rest.split_once('_') else {
+                continue;
+            };
+            let Some(block) = idx_str
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| self.blocks.get_mut(i))
+            else {
+                continue;
+            };
+            match which {
+                "bn1" => block.bn1.set_running_stats(mean.clone(), var.clone()),
+                "bn2" => block.bn2.set_running_stats(mean.clone(), var.clone()),
+                "proj_bn" => {
+                    if let Some((_, proj_bn)) = &mut block.projection {
+                        proj_bn.set_running_stats(mean.clone(), var.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Runs the network on `x` (`[N, C, H, W]`), returning logits.
     ///
     /// # Errors

@@ -310,6 +310,34 @@ pub mod collection {
     }
 }
 
+/// Choice strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{fmt, Strategy, TestRng};
+
+    /// Strategy picking one of a fixed set of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + fmt::Debug> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Everything the tests import via `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::{
@@ -319,7 +347,7 @@ pub mod prelude {
 
     /// Mirror of `proptest::prelude::prop`.
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, sample};
     }
 }
 
@@ -451,6 +479,11 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 5);
             prop_assert_eq!(v.len(), v.len());
             prop_assert_ne!(x as i64 - 60, x as i64);
+        }
+
+        #[test]
+        fn select_picks_from_options(k in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&k));
         }
 
         #[test]

@@ -10,6 +10,10 @@ cargo build --release --workspace
 echo "=== cargo test ==="
 cargo test -q --workspace
 
+echo "=== fault-injection suite ==="
+cargo test -q -p membit-nn --test fault_injection
+cargo test -q -p membit-core --test resilience
+
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings
 

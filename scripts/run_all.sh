@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper plus all ablations.
-# Usage: scripts/run_all.sh [quick|full] [seed]
+# Usage: scripts/run_all.sh [quick|full] [seed] [--resume]
+# --resume continues interrupted training stages from their
+# auto-checkpoints under results/work_*/ instead of restarting them.
 set -euo pipefail
-scale="${1:-quick}"
-seed="${2:-2022}"
+scale="quick"
+seed="2022"
+resume=()
+pos=0
+for arg in "$@"; do
+    if [[ "$arg" == "--resume" ]]; then
+        resume=(--resume)
+    elif [[ $pos -eq 0 ]]; then
+        scale="$arg"
+        pos=1
+    else
+        seed="$arg"
+    fi
+done
 cd "$(dirname "$0")/.."
 
 cargo build --release -p membit-bench
@@ -14,6 +28,7 @@ mkdir -p results/logs
 for bin in "${bins[@]}"; do
     echo "=== $bin (--scale $scale --seed $seed) ==="
     ./target/release/"$bin" --scale "$scale" --seed "$seed" \
+        ${resume[@]+"${resume[@]}"} \
         | tee "results/logs/${bin}_${scale}.log"
     echo
 done
