@@ -76,7 +76,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             vec![16; 7],
         ),
     ];
-    for (name, xbar, pulses) in configs {
+    for (name, mut xbar, pulses) in configs {
+        xbar.exec = cli.exec_options();
         let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Device);
         let mut device = DeviceVgg::deploy(
             vgg,

@@ -54,6 +54,10 @@ pub struct Cli {
     pub seed: u64,
     /// Resume interrupted training stages from their auto-checkpoints.
     pub resume: bool,
+    /// Worker-thread cap for crossbar execution (`None` = library
+    /// default, i.e. available parallelism). Results are bitwise
+    /// identical for every setting — this only trades wall clock.
+    pub threads: Option<usize>,
     /// Remaining (binary-specific) arguments.
     pub rest: Vec<String>,
 }
@@ -66,13 +70,14 @@ impl Cli {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: <bin> [--scale quick|full] [--seed <u64>] [--resume] \
-                 [binary-specific options]"
+                 [--threads <n>] [binary-specific options]"
             );
             std::process::exit(2);
         };
         let mut scale = Scale::Quick;
         let mut seed = 2022u64;
         let mut resume = false;
+        let mut threads = None;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -94,6 +99,14 @@ impl Cli {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
+                "--threads" => {
+                    threads = Some(
+                        args.next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&t: &usize| t >= 1)
+                            .unwrap_or_else(|| usage("--threads needs an integer ≥ 1")),
+                    );
+                }
                 other => rest.push(other.to_string()),
             }
         }
@@ -101,7 +114,17 @@ impl Cli {
             scale,
             seed,
             resume,
+            threads,
             rest,
+        }
+    }
+
+    /// Crossbar [`ExecOptions`](membit_xbar::ExecOptions) honoring
+    /// `--threads` (library default when the flag is absent).
+    pub fn exec_options(&self) -> membit_xbar::ExecOptions {
+        match self.threads {
+            Some(t) => membit_xbar::ExecOptions::with_threads(t),
+            None => membit_xbar::ExecOptions::default(),
         }
     }
 

@@ -76,18 +76,28 @@ pub struct DeviceEvalConfig {
     pub policy: DeploymentPolicy,
 }
 
+/// How a conv layer's MVM is realized on the deployment.
+enum ConvKernel {
+    /// The first conv runs digitally (the paper keeps it off-crossbar):
+    /// just its weight matrix — no crossbar engine exists for it, so it
+    /// consumes no programming RNG draws and contributes nothing to
+    /// program/recovery stats.
+    Digital(Tensor),
+    /// A crossbar-deployed conv with its input-encoding pulse count.
+    /// (Boxed: the engine dwarfs the digital variant.)
+    Crossbar {
+        engine: Box<CrossbarLinear>,
+        pulses: usize,
+    },
+}
+
 struct DeviceConvLayer {
-    engine: CrossbarLinear,
+    kernel: ConvKernel,
     geom: Conv2dGeometry,
     out_channels: usize,
     scale: Tensor,
     shift: Tensor,
     pool: bool,
-    /// Pulse count for this layer's input encoding (`None` for the
-    /// digital first conv).
-    pulses: Option<usize>,
-    /// Digital weight matrix for the first (non-crossbar) conv.
-    digital_w: Option<Tensor>,
 }
 
 /// The deployed network.
@@ -152,30 +162,27 @@ impl DeviceVgg {
             let wmat = deployed.reshape(&[oc, geom.patch_len()])?;
             let (scale, shift) = vgg.conv_bns()[i].fold_eval(params);
             let pool = config.pool_after.contains(&i);
-            let (engine, digital_w, pulses) = if i == 0 {
-                // the first conv runs digitally: keep its weight matrix
-                // and park a minimal placeholder engine in the slot
-                (
-                    CrossbarLinear::program(&Tensor::ones(&[1, 1]), &cfg.xbar, rng)?,
-                    Some(wmat),
-                    None,
-                )
+            let kernel = if i == 0 {
+                // the first conv runs digitally: no crossbar engine, no
+                // RNG draws, no program/recovery stats for this layer
+                ConvKernel::Digital(wmat)
             } else {
                 let mut engine = CrossbarLinear::program(&wmat, &cfg.xbar, rng)?;
                 if let Some(policy) = &cfg.policy.recovery {
                     recovery.merge(&engine.remap(policy, rng)?);
                 }
-                (engine, None, Some(cfg.pulses[i - 1]))
+                ConvKernel::Crossbar {
+                    engine: Box::new(engine),
+                    pulses: cfg.pulses[i - 1],
+                }
             };
             convs.push(DeviceConvLayer {
-                engine,
+                kernel,
                 geom,
                 out_channels: oc,
                 scale,
                 shift,
                 pool,
-                pulses,
-                digital_w,
             });
             in_ch = oc;
             if pool {
@@ -226,16 +233,15 @@ impl DeviceVgg {
         for layer in &self.convs {
             let (oh, ow) = (layer.geom.out_h(), layer.geom.out_w());
             let cols = im2col(&act, &layer.geom)?;
-            let out_rows = match (&layer.digital_w, layer.pulses) {
-                (Some(wmat), _) => cols.matmul(&wmat.transpose()?)?,
-                (None, Some(q)) => {
-                    let enc = PlaThermometer::new(self.act_levels, q)?;
+            let out_rows = match &layer.kernel {
+                ConvKernel::Digital(wmat) => cols.matmul(&wmat.transpose()?)?,
+                ConvKernel::Crossbar { engine, pulses } => {
+                    let enc = PlaThermometer::new(self.act_levels, *pulses)?;
                     let train = enc.encode_tensor(&cols)?;
-                    let (y, s) = layer.engine.execute_with_stats(&train, rng)?;
+                    let (y, s) = engine.execute_with_stats(&train, rng)?;
                     stats.merge(&s);
                     y
                 }
-                (None, None) => unreachable!("crossbar conv layers always carry pulses"),
             };
             let mut out = out_rows
                 .into_reshaped(&[n, oh, ow, layer.out_channels])?
@@ -314,11 +320,11 @@ impl DeviceVgg {
         self.vectors_since_check = 0;
         let mut refreshed = 0u64;
         for layer in &mut self.convs {
-            if layer.digital_w.is_none()
-                && monitor.needs_refresh(layer.engine.measure_decay(monitor.probes, rng))
-            {
-                layer.engine.refresh(rng);
-                refreshed += 1;
+            if let ConvKernel::Crossbar { engine, .. } = &mut layer.kernel {
+                if monitor.needs_refresh(engine.measure_decay(monitor.probes, rng)) {
+                    engine.refresh(rng);
+                    refreshed += 1;
+                }
             }
         }
         if monitor.needs_refresh(self.fc_engine.measure_decay(monitor.probes, rng)) {
@@ -351,8 +357,8 @@ impl DeviceVgg {
     /// are unaffected.
     pub fn age(&mut self, hours: f32, nu: f32, nu_sigma: f32, rng: &mut Rng) {
         for layer in &mut self.convs {
-            if layer.digital_w.is_none() {
-                layer.engine.age(hours, nu, nu_sigma, rng);
+            if let ConvKernel::Crossbar { engine, .. } = &mut layer.kernel {
+                engine.age(hours, nu, nu_sigma, rng);
             }
         }
         self.fc_engine.age(hours, nu, nu_sigma, rng);

@@ -33,7 +33,10 @@ pub fn layer_sensitivity(
     for (layer, &sig) in sigma_abs.iter().enumerate().take(layers) {
         let mut acc_sum = 0.0f32;
         for rep in 0..repeats.max(1) {
-            let rng = Rng::from_seed(seed ^ (rep as u64) << 32 | layer as u64)
+            // keyed substream derivation: the old xor/shift/or mixing
+            // collided whenever `(seed ^ rep<<32) | layer` coincided
+            let rng = Rng::from_seed(seed)
+                .substream(&[rep as u64, layer as u64])
                 .stream(RngStream::Noise);
             let mut hook = SingleLayerNoise::new(layer, sig, rng);
             acc_sum += evaluate_with_hook(model, params, data, batch_size, &mut hook)?;

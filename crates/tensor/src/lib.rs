@@ -30,6 +30,7 @@ mod conv;
 mod error;
 mod matmul;
 mod ops;
+pub mod parallel;
 mod reduce;
 mod rng;
 mod tensor;

@@ -4,6 +4,7 @@
 //! and parallelizes over row blocks with scoped threads, so no `unsafe` and
 //! no global thread pool are required.
 
+use crate::parallel::{plan_threads, scoped_chunks};
 use crate::{Result, Tensor, TensorError};
 
 /// Tuning knobs for [`matmul_into`].
@@ -92,24 +93,18 @@ pub fn matmul_into(out: &mut Tensor, a: &Tensor, b: &Tensor, opts: MatmulOptions
         });
     }
 
-    let threads = opts
-        .max_threads
-        .min(m / opts.rows_per_thread.max(1))
-        .max(1);
-    if threads == 1 {
+    let threads = plan_threads(m, opts.max_threads, opts.rows_per_thread);
+    if threads == 1 || n == 0 {
         kernel(out.as_mut_slice(), a.as_slice(), b.as_slice(), k, n);
         return Ok(());
     }
 
     let rows_per = m.div_ceil(threads);
     let (asl, bsl) = (a.as_slice(), b.as_slice());
-    std::thread::scope(|scope| {
-        for (ablock, oblock) in asl
-            .chunks(rows_per * k)
-            .zip(out.as_mut_slice().chunks_mut(rows_per * n))
-        {
-            scope.spawn(move || kernel(oblock, ablock, bsl, k, n));
-        }
+    scoped_chunks(out.as_mut_slice(), rows_per * n, |start, oblock| {
+        let r0 = start / n;
+        let rows = oblock.len() / n;
+        kernel(oblock, &asl[r0 * k..(r0 + rows) * k], bsl, k, n);
     });
     Ok(())
 }

@@ -55,12 +55,16 @@ pub struct Rng {
     cached_normal: Option<f32>,
 }
 
-fn splitmix64(z: &mut u64) -> u64 {
-    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut x = *z;
+/// The splitmix64 finalizer: a full-avalanche mix of one 64-bit word.
+fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+fn splitmix64(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    mix64(*z)
 }
 
 impl Rng {
@@ -109,11 +113,43 @@ impl Rng {
     /// elsewhere.
     pub fn stream(&self, purpose: RngStream) -> Rng {
         // splitmix64-style mix of the root seed with the purpose tag
-        let mut z = self.seed ^ purpose.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        Rng::from_seed(mix64(
+            self.seed ^ purpose.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Derives an independent generator from this generator's root seed
+    /// and a sequence of counter keys — counter-based substream
+    /// derivation in the Philox/PCG spirit.
+    ///
+    /// The result is a pure function of `(seed, keys)`: it does not
+    /// consume state from `self`, and the same `(seed, keys)` pair always
+    /// yields the same sequence regardless of what has been drawn
+    /// elsewhere or on which thread the derivation happens. The parallel
+    /// crossbar engine keys its noise streams by
+    /// `(nonce, pulse, sample, row_tile, col_tile)` so every noise draw
+    /// is bitwise identical for any thread count and schedule.
+    ///
+    /// Derivations chain: `rng.substream(&[a]).substream(&[b])` is a
+    /// well-defined stream distinct from `rng.substream(&[a, b])`.
+    pub fn substream(&self, keys: &[u64]) -> Rng {
+        let mut z = self.seed;
+        for (i, &k) in keys.iter().enumerate() {
+            // mix each key with its position so [a, b] and [b, a] (and
+            // [x] vs [0, x]) land on unrelated streams
+            z = mix64(z ^ mix64(k ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        }
         Rng::from_seed(z)
+    }
+
+    /// Draws a 64-bit nonce, advancing this generator.
+    ///
+    /// Callers that fan work out over [`substream`](Self::substream)
+    /// draw one nonce per top-level operation and include it in every
+    /// derivation key, so repeated operations on the same generator see
+    /// fresh (but still reproducible) noise.
+    pub fn next_nonce(&mut self) -> u64 {
+        self.next_u64()
     }
 
     /// The root seed this generator was created from.
@@ -263,6 +299,38 @@ mod tests {
         let x1 = n1.normal(0.0, 1.0);
         assert_eq!(x1, n2.normal(0.0, 1.0));
         assert_ne!(x1, d.normal(0.0, 1.0));
+    }
+
+    #[test]
+    fn substreams_are_pure_and_key_sensitive() {
+        let mut root = Rng::from_seed(123);
+        let a1 = root.substream(&[1, 2, 3]).normal(0.0, 1.0);
+        // consuming state from the root must not perturb derivations
+        root.normal(0.0, 1.0);
+        let a2 = root.substream(&[1, 2, 3]).normal(0.0, 1.0);
+        assert_eq!(a1, a2);
+        // every key position matters
+        for keys in [
+            &[9, 2, 3][..],
+            &[1, 9, 3][..],
+            &[1, 2, 9][..],
+            &[2, 1, 3][..],
+            &[1, 2][..],
+            &[0, 1, 2, 3][..],
+        ] {
+            assert_ne!(a1, root.substream(keys).normal(0.0, 1.0), "keys {keys:?}");
+        }
+        // chained derivation is distinct from the flat key list
+        let chained = root.substream(&[1]).substream(&[2, 3]).normal(0.0, 1.0);
+        assert_ne!(a1, chained);
+    }
+
+    #[test]
+    fn nonce_advances_the_stream() {
+        let mut a = Rng::from_seed(5);
+        let mut b = Rng::from_seed(5);
+        assert_eq!(a.next_nonce(), b.next_nonce());
+        assert_ne!(a.next_nonce(), Rng::from_seed(5).next_nonce());
     }
 
     #[test]

@@ -28,14 +28,22 @@ pub struct ExecutionStats {
 
 impl ExecutionStats {
     /// Accumulates another stats block.
+    ///
+    /// Event counters (`vectors`, `pulses`, `tile_mvms`,
+    /// `adc_conversions`, `cell_reads`, `refreshes`) are per-batch and
+    /// sum. `unrecoverable_cells` and `degraded_tiles` describe the
+    /// *deployment*, not the batch: they are populated once per
+    /// evaluation and identical across the batches being merged, so
+    /// summing would multiply the damage by the batch count — the merge
+    /// takes the max instead.
     pub fn merge(&mut self, other: &ExecutionStats) {
         self.vectors += other.vectors;
         self.pulses += other.pulses;
         self.tile_mvms += other.tile_mvms;
         self.adc_conversions += other.adc_conversions;
         self.cell_reads += other.cell_reads;
-        self.unrecoverable_cells += other.unrecoverable_cells;
-        self.degraded_tiles += other.degraded_tiles;
+        self.unrecoverable_cells = self.unrecoverable_cells.max(other.unrecoverable_cells);
+        self.degraded_tiles = self.degraded_tiles.max(other.degraded_tiles);
         self.refreshes += other.refreshes;
     }
 
@@ -82,10 +90,18 @@ impl EnergyModel {
             + stats.adc_conversions as f64 * self.pj_per_adc
     }
 
-    /// Total latency for `stats`, in ns (pulses are sequential per
-    /// vector; vectors are assumed pipelined one-per-pulse-slot).
+    /// Total latency for `stats`, in ns. Pulses are sequential per
+    /// vector, and vectors are pipelined one-per-pulse-slot: after the
+    /// first vector's full pulse depth fills the pipeline, each further
+    /// vector retires one pulse slot later, so the total is
+    /// `pulses_per_vector + (vectors − 1)` slots. With one vector or
+    /// fewer (e.g. hand-built stats with `vectors == 0`) this degrades
+    /// to the raw pulse count.
     pub fn latency_ns(&self, stats: &ExecutionStats) -> f64 {
-        stats.pulses as f64 * self.ns_per_pulse
+        if stats.vectors <= 1 {
+            return stats.pulses as f64 * self.ns_per_pulse;
+        }
+        (stats.pulses_per_vector() + (stats.vectors - 1) as f64) * self.ns_per_pulse
     }
 }
 
@@ -116,9 +132,15 @@ mod tests {
         assert_eq!(a.vectors, 2);
         assert_eq!(a.pulses, 16);
         assert_eq!(a.cell_reads, 2048);
-        assert_eq!(a.unrecoverable_cells, 6);
-        assert_eq!(a.degraded_tiles, 2);
+        // deployment-level damage counters are set-once: max, not sum
+        assert_eq!(a.unrecoverable_cells, 3);
+        assert_eq!(a.degraded_tiles, 1);
         assert_eq!(a.refreshes, 4);
+        a.merge(&ExecutionStats {
+            unrecoverable_cells: 7,
+            ..Default::default()
+        });
+        assert_eq!(a.unrecoverable_cells, 7);
     }
 
     #[test]
@@ -144,6 +166,27 @@ mod tests {
         let mut s2 = s1;
         s2.merge(&s1);
         assert!((m.energy_pj(&s2) - 2.0 * m.energy_pj(&s1)).abs() < 1e-9);
+        assert!((m.latency_ns(&s1) - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_pipelines_vectors() {
+        let m = EnergyModel::representative();
+        // hand-computed: 2 vectors × 8 pulses each. The first vector
+        // occupies 8 pulse slots; the second retires one slot later:
+        // (8 + 1) × 100 ns = 900 ns — not 16 × 100 ns.
+        let s = ExecutionStats {
+            vectors: 2,
+            pulses: 16,
+            ..Default::default()
+        };
+        assert!((m.latency_ns(&s) - 900.0).abs() < 1e-9);
+        // single vector: exactly the pulse depth
+        let s1 = ExecutionStats {
+            vectors: 1,
+            pulses: 8,
+            ..Default::default()
+        };
         assert!((m.latency_ns(&s1) - 800.0).abs() < 1e-9);
     }
 }

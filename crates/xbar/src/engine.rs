@@ -1,6 +1,7 @@
 //! The crossbar execution engine: tile partitioning and pulse-train MVM.
 
 use membit_encoding::PulseTrain;
+use membit_tensor::parallel::{plan_threads, scoped_chunks};
 use membit_tensor::{Rng, Tensor, TensorError};
 
 use crate::adc::Adc;
@@ -10,6 +11,67 @@ use crate::program::{ProgramStats, WriteVerify};
 use crate::remap::{remap_tile, RecoveryPolicy, RemapReport};
 use crate::tile::Tile;
 use crate::Result;
+
+/// Host-side execution options: how programming and pulse execution fan
+/// out over worker threads.
+///
+/// Noise streams are derived per `(pulse, sample, row_tile, col_tile)`
+/// (see [`Rng::substream`]), so results are **bitwise identical for every
+/// `max_threads` / `samples_per_thread` setting** — these knobs trade
+/// wall clock only, never reproducibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Upper bound on worker threads (1 = single-threaded).
+    pub max_threads: usize,
+    /// Minimum input vectors per worker; small batches stay
+    /// single-threaded to avoid spawn overhead.
+    pub samples_per_thread: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            max_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            samples_per_thread: 2,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options forcing single-threaded execution — the escape hatch for
+    /// profiling and for hosts where spawning is expensive.
+    pub fn serial() -> Self {
+        Self {
+            max_threads: 1,
+            samples_per_thread: usize::MAX,
+        }
+    }
+
+    /// Default options capped at `max_threads` workers.
+    pub fn with_threads(max_threads: usize) -> Self {
+        Self {
+            max_threads,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for zero threads or a
+    /// zero per-thread sample floor.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_threads == 0 || self.samples_per_thread == 0 {
+            return Err(TensorError::InvalidArgument(
+                "exec options need max_threads ≥ 1 and samples_per_thread ≥ 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Deployment configuration of one crossbar-mapped linear operator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +89,9 @@ pub struct XbarConfig {
     /// Optional program-and-verify write policy; `None` programs each
     /// cell with a single pulse.
     pub write_verify: Option<WriteVerify>,
+    /// Host-side thread fan-out (simulation speed only — results are
+    /// independent of it).
+    pub exec: ExecOptions,
 }
 
 impl XbarConfig {
@@ -39,6 +104,7 @@ impl XbarConfig {
             adc_bits: None,
             noise: NoiseSpec::none(),
             write_verify: None,
+            exec: ExecOptions::default(),
         }
     }
 
@@ -60,6 +126,7 @@ impl XbarConfig {
             adc_bits: Some(8),
             noise: NoiseSpec::realistic(output_sigma),
             write_verify: Some(WriteVerify::standard()),
+            exec: ExecOptions::default(),
         }
     }
 
@@ -82,6 +149,7 @@ impl XbarConfig {
         if let Some(wv) = &self.write_verify {
             wv.validate()?;
         }
+        self.exec.validate()?;
         self.noise.validate()
     }
 }
@@ -127,15 +195,25 @@ impl CrossbarLinear {
         config.validate()?;
         let (out_features, in_features) = (w.shape()[0], w.shape()[1]);
         let wt = w.transpose()?; // [in, out]: rows = wordlines
-        let mut program_stats = ProgramStats::default();
         let row_starts: Vec<usize> = (0..in_features).step_by(config.tile_rows).collect();
         let col_starts: Vec<usize> = (0..out_features).step_by(config.tile_cols).collect();
-        let mut tiles = Vec::with_capacity(row_starts.len());
-        let mut adcs = Vec::with_capacity(row_starts.len());
-        for &r0 in &row_starts {
-            let rows = config.tile_rows.min(in_features - r0);
-            let mut row_tiles = Vec::with_capacity(col_starts.len());
-            for &c0 in &col_starts {
+        let (nrt, nct) = (row_starts.len(), col_starts.len());
+
+        // Programming noise is drawn from substreams keyed by the tile's
+        // grid position, so the fan-out below yields the same devices for
+        // any thread count. The nonce keeps repeated calls on one rng
+        // from reusing realizations.
+        let nonce = rng.next_nonce();
+        let base = rng.substream(&[nonce]);
+        let njobs = nrt * nct;
+        let threads = plan_threads(njobs, config.exec.max_threads, 1);
+        let mut slots: Vec<Option<Result<(Tile, ProgramStats)>>> =
+            (0..njobs).map(|_| None).collect();
+        scoped_chunks(&mut slots, njobs.div_ceil(threads), |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let (ri, ci) = ((start + off) / nct, (start + off) % nct);
+                let (r0, c0) = (row_starts[ri], col_starts[ci]);
+                let rows = config.tile_rows.min(in_features - r0);
                 let cols = config.tile_cols.min(out_features - c0);
                 let mut sub = Tensor::zeros(&[rows, cols]);
                 for i in 0..rows {
@@ -143,15 +221,33 @@ impl CrossbarLinear {
                         sub.set(&[i, j], wt.get(&[r0 + i, c0 + j]));
                     }
                 }
-                match &config.write_verify {
+                let mut trng = base.substream(&[ri as u64, ci as u64]);
+                *slot = Some(match &config.write_verify {
                     Some(policy) => {
-                        let (tile, stats) =
-                            Tile::program_verified(&sub, &config.noise.device, policy, rng)?;
-                        program_stats.merge(&stats);
-                        row_tiles.push(tile);
+                        Tile::program_verified(&sub, &config.noise.device, policy, &mut trng)
                     }
-                    None => row_tiles.push(Tile::program(&sub, &config.noise.device, rng)?),
+                    None => Tile::program(&sub, &config.noise.device, &mut trng)
+                        .map(|tile| (tile, ProgramStats::default())),
+                });
+            }
+        });
+
+        let mut program_stats = ProgramStats::default();
+        let mut tiles = Vec::with_capacity(nrt);
+        let mut adcs = Vec::with_capacity(nrt);
+        let mut slots = slots.into_iter();
+        for &r0 in &row_starts {
+            let rows = config.tile_rows.min(in_features - r0);
+            let mut row_tiles = Vec::with_capacity(nct);
+            for _ in &col_starts {
+                let (tile, stats) = slots
+                    .next()
+                    .flatten()
+                    .expect("program fan-out filled every slot")?;
+                if config.write_verify.is_some() {
+                    program_stats.merge(&stats);
                 }
+                row_tiles.push(tile);
             }
             tiles.push(row_tiles);
             adcs.push(match config.adc_bits {
@@ -231,36 +327,90 @@ impl CrossbarLinear {
             vectors: n as u64,
             ..Default::default()
         };
-        let mut col_buf = vec![0.0f32; self.config.tile_cols];
-        for (pulse_weight, pulse) in train.iter() {
+        if n == 0 || self.out_features == 0 {
+            return Ok((acc, stats));
+        }
+
+        // One nonce per execution keys a fresh family of noise
+        // substreams; workers re-derive per-(pulse, sample, tile) streams
+        // from it, so the fan-out over sample blocks is bitwise
+        // deterministic for any thread count.
+        let nonce = rng.next_nonce();
+        let base = rng.substream(&[nonce]);
+        let exec = self.config.exec;
+        let threads = plan_threads(n, exec.max_threads, exec.samples_per_thread);
+        let block = n.div_ceil(threads);
+        let worker_stats = scoped_chunks(
+            acc.as_mut_slice(),
+            block * self.out_features,
+            |start, ablock| self.execute_block(train, &base, start / self.out_features, ablock),
+        );
+        for ws in worker_stats {
+            stats.merge(&ws?);
+        }
+        let y = acc.mul_scalar(1.0 / train.weight_norm());
+        Ok((y, stats))
+    }
+
+    /// Executes every pulse for the contiguous sample block starting at
+    /// global sample `s0`, accumulating weighted tile outputs into the
+    /// block's rows of the output buffer (`ablock`, row-major `[nb,
+    /// out_features]`).
+    ///
+    /// Per-element accumulation order is pulse-major then row-tile —
+    /// independent of how samples are grouped into blocks — and every
+    /// tile MVM draws from `base.substream(&[pulse, sample, row_tile,
+    /// col_tile])`, so results are bitwise identical for any split.
+    fn execute_block(
+        &self,
+        train: &PulseTrain,
+        base: &Rng,
+        s0: usize,
+        ablock: &mut [f32],
+    ) -> Result<ExecutionStats> {
+        let nb = ablock.len() / self.out_features;
+        let mut stats = ExecutionStats::default();
+        let mut out_buf = vec![0.0f32; nb * self.config.tile_cols];
+        let mut rngs: Vec<Rng> = Vec::with_capacity(nb);
+        for (pi, (pulse_weight, pulse)) in train.iter().enumerate() {
             let px = pulse.as_slice();
-            for s in 0..n {
-                stats.pulses += 1;
-                let xrow = &px[s * self.in_features..(s + 1) * self.in_features];
-                for (ri, &r0) in self.row_starts.iter().enumerate() {
-                    let rows = self.config.tile_rows.min(self.in_features - r0);
-                    let xs = &xrow[r0..r0 + rows];
-                    for (ci, &c0) in self.col_starts.iter().enumerate() {
-                        let tile = &self.tiles[ri][ci];
-                        let (trows, tcols) = tile.dims();
-                        let out = &mut col_buf[..tcols];
-                        tile.mvm(xs, &self.config.noise, rng, out)?;
-                        stats.tile_mvms += 1;
-                        stats.cell_reads += (trows * tcols) as u64;
-                        if let Some(adc) = &self.adcs[ri] {
-                            adc.convert_slice(out);
-                            stats.adc_conversions += tcols as u64;
-                        }
-                        let arow = acc.as_mut_slice();
-                        for (j, &v) in out.iter().enumerate() {
-                            arow[s * self.out_features + c0 + j] += pulse_weight * v;
+            let xs = &px[s0 * self.in_features..(s0 + nb) * self.in_features];
+            stats.pulses += nb as u64;
+            for (ri, &r0) in self.row_starts.iter().enumerate() {
+                for (ci, &c0) in self.col_starts.iter().enumerate() {
+                    let tile = &self.tiles[ri][ci];
+                    let (trows, tcols) = tile.dims();
+                    rngs.clear();
+                    rngs.extend((0..nb).map(|s| {
+                        base.substream(&[pi as u64, (s0 + s) as u64, ri as u64, ci as u64])
+                    }));
+                    let out = &mut out_buf[..nb * tcols];
+                    tile.mvm_batch(
+                        xs,
+                        self.in_features,
+                        r0,
+                        &self.config.noise,
+                        &mut rngs,
+                        out,
+                    )?;
+                    stats.tile_mvms += nb as u64;
+                    stats.cell_reads += (nb * trows * tcols) as u64;
+                    if let Some(adc) = &self.adcs[ri] {
+                        adc.convert_slice(out);
+                        stats.adc_conversions += (nb * tcols) as u64;
+                    }
+                    for (orow, arow) in out
+                        .chunks_exact(tcols)
+                        .zip(ablock.chunks_exact_mut(self.out_features))
+                    {
+                        for (a, &v) in arow[c0..c0 + tcols].iter_mut().zip(orow) {
+                            *a += pulse_weight * v;
                         }
                     }
                 }
             }
         }
-        let y = acc.mul_scalar(1.0 / train.weight_norm());
-        Ok((y, stats))
+        Ok(stats)
     }
 
     /// Ages every tile by `hours` of retention drift (see

@@ -58,7 +58,7 @@ mod tile;
 pub use adc::Adc;
 pub use device::{CellHealth, DeviceModel};
 pub use energy::{EnergyModel, ExecutionStats};
-pub use engine::{CrossbarLinear, XbarConfig};
+pub use engine::{CrossbarLinear, ExecOptions, XbarConfig};
 pub use fault::{CellFault, CellSide, FaultMap, HealthMonitor, MarchTestConfig};
 pub use noise::NoiseSpec;
 pub use program::{

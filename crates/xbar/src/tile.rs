@@ -241,16 +241,81 @@ impl Tile {
                 out.len()
             )));
         }
+        let c2c = self.device.c2c_sigma > 0.0;
+        let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
+        self.mvm_kernel(x, noise, rng, out, &mut c2c_var);
+        Ok(())
+    }
+
+    /// Batched analog MVM over one pulse's block of input vectors.
+    ///
+    /// `xs` holds `rngs.len()` row-major input vectors of length `stride`
+    /// (the parent operator's full input width); each vector's slice for
+    /// this tile starts at `offset` (the tile's first wordline). Outputs
+    /// land in `out` as `rngs.len()` rows of `cols` values. One generator
+    /// per sample keeps noise draws independent of batching and thread
+    /// schedule — the engine derives them per
+    /// `(pulse, sample, row_tile, col_tile)`.
+    ///
+    /// Equivalent to `rngs.len()` calls to [`mvm`](Self::mvm) with the
+    /// corresponding generators, but amortizes validation and the
+    /// cycle-to-cycle scratch buffer across the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on slice-length or
+    /// stride/offset mismatches.
+    pub fn mvm_batch(
+        &self,
+        xs: &[f32],
+        stride: usize,
+        offset: usize,
+        noise: &NoiseSpec,
+        rngs: &mut [Rng],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let n = rngs.len();
+        if offset + self.rows > stride || xs.len() != n * stride || out.len() != n * self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "mvm_batch expects {n} vectors of stride {stride} covering rows \
+                 {offset}..{} and out[{}], got xs[{}] / out[{}]",
+                offset + self.rows,
+                n * self.cols,
+                xs.len(),
+                out.len()
+            )));
+        }
+        let c2c = self.device.c2c_sigma > 0.0;
+        let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
+        for (s, rng) in rngs.iter_mut().enumerate() {
+            let x = &xs[s * stride + offset..s * stride + offset + self.rows];
+            let o = &mut out[s * self.cols..(s + 1) * self.cols];
+            self.mvm_kernel(x, noise, rng, o, &mut c2c_var);
+        }
+        Ok(())
+    }
+
+    /// The shared MVM inner loop: `x.len() == rows`, `out.len() == cols`,
+    /// and `c2c_var.len() == cols` exactly when cycle-to-cycle noise is
+    /// enabled (it is used as scratch and re-zeroed here).
+    fn mvm_kernel(
+        &self,
+        x: &[f32],
+        noise: &NoiseSpec,
+        rng: &mut Rng,
+        out: &mut [f32],
+        c2c_var: &mut [f32],
+    ) {
         let denom = self.device.g_on - self.device.g_off();
         out.fill(0.0);
-        let c2c = self.device.c2c_sigma > 0.0;
+        let c2c = !c2c_var.is_empty();
+        c2c_var.fill(0.0);
         // Cycle-to-cycle read noise is aggregated per column: every active
         // cell contributes an independent `N(0, (σ_c2c·G)²)` term to the
         // column current, so their sum is Gaussian with variance
         // `σ_c2c²·Σ x_i²(G⁺² + G⁻²)` — one sample per column instead of
         // two per cell, statistically identical and ~10⁴× cheaper on
         // large tiles.
-        let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
@@ -272,7 +337,7 @@ impl Tile {
         }
         if c2c {
             let s = self.device.c2c_sigma / denom;
-            for (o, &v) in out.iter_mut().zip(&c2c_var) {
+            for (o, &v) in out.iter_mut().zip(c2c_var.iter()) {
                 if v > 0.0 {
                     *o += rng.normal(0.0, s * v.sqrt());
                 }
@@ -283,7 +348,6 @@ impl Tile {
                 *o += rng.normal(0.0, noise.output_sigma);
             }
         }
-        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -595,6 +659,44 @@ mod tests {
             / samples.len() as f32;
         assert!(mean.abs() < 0.12, "mean = {mean}");
         assert!((var - 4.0).abs() < 0.4, "var = {var}");
+    }
+
+    #[test]
+    fn mvm_batch_matches_per_sample_mvm() {
+        let mut device = DeviceModel::ideal();
+        device.c2c_sigma = 0.03;
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(40);
+        let tile = Tile::program(&weights(), &device, &mut rng).unwrap();
+        let noise = NoiseSpec::functional(0.5);
+        let (stride, offset, n) = (5usize, 1usize, 3usize);
+        let xs: Vec<f32> = (0..n * stride).map(|i| (i % 7) as f32 / 3.0 - 1.0).collect();
+        let mut rngs: Vec<Rng> = (0..n as u64).map(|s| Rng::from_seed(100 + s)).collect();
+        let mut batch_out = vec![0.0f32; n * 2];
+        tile.mvm_batch(&xs, stride, offset, &noise, &mut rngs, &mut batch_out)
+            .unwrap();
+        for s in 0..n {
+            let mut rng_s = Rng::from_seed(100 + s as u64);
+            let mut out = [0.0f32; 2];
+            tile.mvm(
+                &xs[s * stride + offset..s * stride + offset + 3],
+                &noise,
+                &mut rng_s,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(&batch_out[s * 2..(s + 1) * 2], &out);
+        }
+        // stride too small for offset + rows, wrong xs length, wrong out length
+        assert!(tile
+            .mvm_batch(&xs[..n * 3], 3, 1, &noise, &mut rngs, &mut batch_out)
+            .is_err());
+        assert!(tile
+            .mvm_batch(&xs[..7], stride, offset, &noise, &mut rngs, &mut batch_out)
+            .is_err());
+        assert!(tile
+            .mvm_batch(&xs, stride, offset, &noise, &mut rngs, &mut batch_out[..2])
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Thread-count determinism of the parallel execution engine.
+//!
+//! The engine derives every noise draw from substreams keyed by
+//! `(pulse, sample, row_tile, col_tile)` (programming: `(row_tile,
+//! col_tile)`), so programming + execution must be **bitwise identical**
+//! for every `max_threads` setting — across tile geometries, encoders
+//! and noise models — and the closed-form variance laws (paper Eqs. 2/3)
+//! must keep holding when the Monte-Carlo runs through the parallel
+//! path.
+
+use membit_encoding::pla::PlaThermometer;
+use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
+use membit_tensor::{Rng, Tensor};
+use membit_xbar::{CrossbarLinear, ExecOptions, ExecutionStats, XbarConfig};
+use proptest::prelude::*;
+
+fn pm1_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::from_seed(seed);
+    Tensor::from_fn(&[rows, cols], |_| if rng.coin(0.5) { 1.0 } else { -1.0 })
+}
+
+/// Programs and executes under the given thread cap, returning the raw
+/// output bits and stats.
+fn run(
+    w: &Tensor,
+    train: &membit_encoding::PulseTrain,
+    mut cfg: XbarConfig,
+    seed: u64,
+    threads: usize,
+) -> (Vec<f32>, ExecutionStats) {
+    cfg.exec = ExecOptions {
+        max_threads: threads,
+        samples_per_thread: 1,
+    };
+    let mut rng = Rng::from_seed(seed);
+    let engine = CrossbarLinear::program(w, &cfg, &mut rng).unwrap();
+    let (y, stats) = engine.execute_with_stats(train, &mut rng).unwrap();
+    (y.as_slice().to_vec(), stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn execution_is_bitwise_identical_across_thread_counts(
+        seed in 0u64..300,
+        tile_rows in 3usize..12,
+        tile_cols in 3usize..12,
+        encoder in 0usize..3,
+        noise_kind in 0usize..3,
+        batch in 1usize..7,
+    ) {
+        let w = pm1_matrix(10, 14, seed);
+        let x = Tensor::from_fn(&[batch, 14], |i| {
+            (((i * 5 + seed as usize) % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0)
+        });
+        let train = match encoder {
+            0 => Thermometer::new(6).unwrap().encode_tensor(&x).unwrap(),
+            1 => BitSlicing::new(3).unwrap().encode_tensor(&x).unwrap(),
+            _ => PlaThermometer::new(9, 6).unwrap().encode_tensor(&x).unwrap(),
+        };
+        let mut cfg = match noise_kind {
+            0 => XbarConfig::ideal(),
+            1 => XbarConfig::functional(0.3),
+            _ => XbarConfig::realistic(0.2), // ADC + variation + write-verify
+        };
+        cfg.tile_rows = tile_rows;
+        cfg.tile_cols = tile_cols;
+
+        let (y1, s1) = run(&w, &train, cfg, seed + 1000, 1);
+        for threads in [2usize, 8] {
+            let (yt, st) = run(&w, &train, cfg, seed + 1000, threads);
+            // outputs bitwise identical, stats exactly equal
+            prop_assert_eq!(&y1, &yt, "outputs diverged at {} threads", threads);
+            prop_assert_eq!(s1, st, "stats diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn repeated_executions_draw_fresh_noise(seed in 0u64..300) {
+        // substream derivation must not freeze the noise: two executes on
+        // one rng see different realizations (nonce-keyed families)
+        let w = Tensor::ones(&[1, 4]);
+        let mut rng = Rng::from_seed(seed);
+        let engine = CrossbarLinear::program(&w, &XbarConfig::functional(1.0), &mut rng).unwrap();
+        let train = Thermometer::new(4)
+            .unwrap()
+            .encode_tensor(&Tensor::zeros(&[1, 4]))
+            .unwrap();
+        let a = engine.execute(&train, &mut rng).unwrap();
+        let b = engine.execute(&train, &mut rng).unwrap();
+        prop_assert_ne!(a.at(0), b.at(0));
+    }
+}
+
+/// Paper Eq. 3 — thermometer codes with `p` pulses average per-pulse
+/// noise down to variance σ²/p — must hold when the Monte-Carlo batch
+/// runs through the multi-threaded path (8 samples per execute, one per
+/// worker).
+#[test]
+fn monte_carlo_variance_matches_eq3_under_parallel_execution() {
+    let w = Tensor::ones(&[1, 4]);
+    let sigma = 2.0f32;
+    let p = 8usize;
+    let mut cfg = XbarConfig::functional(sigma);
+    cfg.exec = ExecOptions {
+        max_threads: 8,
+        samples_per_thread: 1,
+    };
+    let mut rng = Rng::from_seed(41);
+    let xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+    let batch = 8usize;
+    let train = Thermometer::new(p)
+        .unwrap()
+        .encode_tensor(&Tensor::zeros(&[batch, 4]))
+        .unwrap();
+    let mut samples = Vec::new();
+    for _ in 0..400 {
+        let y = xbar.execute(&train, &mut rng).unwrap();
+        samples.extend_from_slice(y.as_slice());
+    }
+    let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+    let var =
+        samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+    let expect = sigma * sigma / p as f32;
+    assert!(
+        (var - expect).abs() < 0.15 * expect + 0.02,
+        "var {var} vs {expect}"
+    );
+}
+
+/// Paper Eq. 2 — bit-sliced codes accumulate per-pulse noise as
+/// Σ4^i/(Σ2^i)²·σ² — likewise must survive the parallel path.
+#[test]
+fn monte_carlo_variance_matches_eq2_under_parallel_execution() {
+    let w = Tensor::ones(&[1, 4]);
+    let sigma = 2.0f32;
+    let b = 3usize;
+    let mut cfg = XbarConfig::functional(sigma);
+    cfg.exec = ExecOptions {
+        max_threads: 8,
+        samples_per_thread: 1,
+    };
+    let mut rng = Rng::from_seed(42);
+    let xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+    let batch = 8usize;
+    let train = BitSlicing::new(b)
+        .unwrap()
+        .encode_tensor(&Tensor::zeros(&[batch, 4]))
+        .unwrap();
+    let mut samples = Vec::new();
+    for _ in 0..400 {
+        let y = xbar.execute(&train, &mut rng).unwrap();
+        samples.extend_from_slice(y.as_slice());
+    }
+    let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+    let var =
+        samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
+    let expect = (sigma * sigma) * 21.0 / 49.0; // Σ4^i / (Σ2^i)² for b=3
+    assert!(
+        (var - expect).abs() < 0.15 * expect + 0.02,
+        "var {var} vs {expect}"
+    );
+}

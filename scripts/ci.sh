@@ -14,6 +14,16 @@ echo "=== fault-injection suite ==="
 cargo test -q -p membit-nn --test fault_injection
 cargo test -q -p membit-core --test resilience
 
+echo "=== engine determinism suite ==="
+# parallel-execution determinism must hold under any test scheduling:
+# run the suite serialized and with concurrent test threads
+cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=1
+cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=4
+
+echo "=== bench_engine smoke (results/BENCH_engine.json) ==="
+./target/release/bench_engine --smoke
+test -s results/BENCH_engine.json
+
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings
 
