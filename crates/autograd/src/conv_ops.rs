@@ -1,6 +1,6 @@
 //! Convolution and pooling on the tape.
 
-use membit_tensor::{im2col, Conv2dGeometry, Tensor, TensorError};
+use membit_tensor::{im2col_into, Conv2dGeometry, Tensor, TensorError};
 
 use crate::op::Op;
 use crate::tape::{Tape, VarId};
@@ -48,8 +48,14 @@ impl Tape {
         let batch = xv.shape()[0];
         let oc = wv.shape()[0];
         let (oh, ow) = (geom.out_h(), geom.out_w());
-        let cols = im2col(xv, geom)?;
-        let wmat = wv.reshape(&[oc, geom.patch_len()])?;
+        // lower through a pooled buffer: on a reset-reused tape this is
+        // the previous minibatch's column matrix, so the largest
+        // allocation of the forward pass is made once, not per batch
+        let mut buf = self.take_col_buffer();
+        im2col_into(self.value(x), geom, &mut buf)?;
+        let rows = buf.len() / geom.patch_len();
+        let cols = Tensor::from_vec(buf, &[rows, geom.patch_len()])?;
+        let wmat = self.value(w).reshape(&[oc, geom.patch_len()])?;
         let out_rows = cols.matmul(&wmat.transpose()?)?;
         let value = out_rows
             .into_reshaped(&[batch, oh, ow, oc])?
@@ -272,6 +278,36 @@ mod tests {
         let bad = tape.leaf(Tensor::zeros(&[1, 1, 3, 3]), false);
         assert!(tape.avg_pool2d(bad, 2).is_err());
         assert!(tape.avg_pool2d(bad, 0).is_err());
+    }
+
+    #[test]
+    fn reset_recycles_im2col_buffers_without_corrupting_results() {
+        // run the same padded conv on a fresh tape and on a reset-reused
+        // tape (whose pool hands back the previous batch's dirty column
+        // buffer): values and grads must match exactly
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        let xv = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32 / 7.0 - 2.0);
+        let wv = Tensor::from_fn(&[2, 2, 3, 3], |i| ((i % 5) as f32 - 2.0) / 3.0);
+        let run = |tape: &mut Tape| -> (Vec<f32>, Vec<f32>) {
+            let x = tape.leaf(xv.clone(), false);
+            let w = tape.leaf(wv.clone(), true);
+            let y = tape.conv2d(x, w, &g).unwrap();
+            let l = tape.sum_all(y);
+            tape.backward(l).unwrap();
+            (
+                tape.value(y).as_slice().to_vec(),
+                tape.grad(w).unwrap().as_slice().to_vec(),
+            )
+        };
+        let mut fresh = Tape::new();
+        let (y_fresh, g_fresh) = run(&mut fresh);
+        let mut reused = Tape::new();
+        for _ in 0..3 {
+            reused.reset(); // second iteration onward pops a dirty buffer
+            let (y_re, g_re) = run(&mut reused);
+            assert_eq!(y_re, y_fresh);
+            assert_eq!(g_re, g_fresh);
+        }
     }
 
     #[test]

@@ -36,7 +36,16 @@ pub(crate) struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    /// Recycled im2col buffers for [`conv2d`](Tape::conv2d): `reset()`
+    /// reclaims the column matrices saved on `Op::Conv2d` nodes so a
+    /// tape reused across minibatches stops reallocating its largest
+    /// scratch (the lowered patches dwarf every activation).
+    col_scratch: Vec<Vec<f32>>,
 }
+
+/// Upper bound on pooled im2col buffers — more conv layers than this per
+/// graph simply fall back to fresh allocations.
+const COL_SCRATCH_MAX: usize = 16;
 
 impl Tape {
     /// Creates an empty tape.
@@ -50,10 +59,25 @@ impl Tape {
         self.nodes.len()
     }
 
-    /// Clears all nodes and gradients, keeping allocations.
+    /// Clears all nodes and gradients, keeping allocations — including
+    /// the im2col column buffers of recorded convolutions, which are
+    /// moved back into the scratch pool for the next forward pass.
     pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if self.col_scratch.len() >= COL_SCRATCH_MAX {
+                break;
+            }
+            if let Op::Conv2d { cols, .. } = node.op {
+                self.col_scratch.push(cols.into_vec());
+            }
+        }
         self.nodes.clear();
         self.grads.clear();
+    }
+
+    /// Takes a recycled im2col buffer (empty `Vec` when the pool is dry).
+    pub(crate) fn take_col_buffer(&mut self) -> Vec<f32> {
+        self.col_scratch.pop().unwrap_or_default()
     }
 
     /// Records an input or parameter.

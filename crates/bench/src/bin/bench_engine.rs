@@ -1,17 +1,24 @@
 //! Crossbar engine throughput benchmark.
 //!
-//! Programs a tiled crossbar, runs the same pulse train at several worker
-//! thread counts, checks the outputs are **bitwise identical** across all
-//! of them (the engine derives per-`(pulse, sample, tile)` noise
-//! substreams, so threading must never change results), and writes the
-//! measured wall-clock numbers to `BENCH_engine.json` under the results
-//! directory.
+//! Two sections, each with warmup + median-of-N timing:
+//!
+//! 1. **Thread sweep** — programs a tiled crossbar, runs the same pulse
+//!    train at several worker thread counts, checks the outputs are
+//!    **bitwise identical** across all of them (the engine derives
+//!    per-`(pulse, sample, tile)` noise substreams, so threading must
+//!    never change results), and writes the wall-clock numbers to
+//!    `BENCH_engine.json` under the results directory.
+//! 2. **Kernel comparison** — times `MvmKernel::Reference` against
+//!    `MvmKernel::Cached` (which adds the incremental pulse-delta
+//!    schedule on thermometer trains) single-threaded across tile
+//!    geometries and pulse counts, verifies the two agree within 1e-5,
+//!    and writes `BENCH_mvm.json`.
 //!
 //! Options (besides the shared bench flags):
 //!
-//! * `--smoke` — tiny problem + one repeat: a seconds-long CI smoke run
-//!   that still exercises programming, execution, determinism checking
-//!   and the JSON emission path.
+//! * `--smoke` — tiny problems + one repeat: a seconds-long CI smoke run
+//!   that still exercises programming, execution, determinism checking,
+//!   kernel agreement and both JSON emission paths.
 
 use std::error::Error;
 use std::io::Write as _;
@@ -20,7 +27,7 @@ use std::time::Instant;
 use membit_bench::{results_dir, Cli};
 use membit_encoding::{BitEncoder, Thermometer};
 use membit_tensor::{Rng, RngStream, Tensor};
-use membit_xbar::{CrossbarLinear, ExecOptions, XbarConfig};
+use membit_xbar::{CrossbarLinear, ExecOptions, MvmKernel, XbarConfig};
 
 struct Case {
     name: &'static str,
@@ -28,6 +35,17 @@ struct Case {
     in_features: usize,
     batch: usize,
     pulses: usize,
+}
+
+/// A kernel-comparison configuration: like [`Case`] but with an explicit
+/// square tile size (the thread sweep uses the config default).
+struct KernelCase {
+    name: &'static str,
+    out_features: usize,
+    in_features: usize,
+    batch: usize,
+    pulses: usize,
+    tile: usize,
 }
 
 fn random_pm1(shape: &[usize], seed: u64) -> Tensor {
@@ -39,10 +57,49 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// One warmup execute (untimed), then `repeats` timed executes with the
+/// identical seeded noise stream; returns the median wall-clock in ms and
+/// the (deterministic) output.
+fn time_execute(
+    engine: &CrossbarLinear,
+    train: &membit_encoding::PulseTrain,
+    seed: u64,
+    repeats: usize,
+) -> Result<(f64, Tensor), Box<dyn Error>> {
+    let mut warm_rng = Rng::from_seed(seed).stream(RngStream::Noise);
+    let mut out = engine.execute(train, &mut warm_rng)?;
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let mut xrng = Rng::from_seed(seed).stream(RngStream::Noise);
+        let t = Instant::now();
+        out = engine.execute(train, &mut xrng)?;
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    Ok((median(times), out))
+}
+
+/// Samples·pulses per second at the given per-execute median.
+fn throughput(batch: usize, pulses: usize, ms: f64) -> f64 {
+    (batch * pulses) as f64 / (ms / 1e3)
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let smoke = cli.rest.iter().any(|a| a == "--smoke");
-    let repeats = if smoke { 1 } else { 3 };
+    let repeats = if smoke { 1 } else { 5 };
     let cases: Vec<Case> = if smoke {
         vec![Case {
             name: "smoke",
@@ -75,7 +132,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         .unwrap_or(1);
 
     println!(
-        "crossbar engine benchmark ({} case(s), {repeats} repeat(s), host has {host_threads} hardware thread(s))",
+        "crossbar engine benchmark ({} case(s), median of {repeats} repeat(s) after 1 warmup, \
+         host has {host_threads} hardware thread(s))",
         cases.len()
     );
     let mut case_json = Vec::new();
@@ -97,7 +155,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             case.pulses,
             xbar.num_tiles()
         );
-        println!("{:>10} {:>12} {:>10}", "threads", "ms/exec", "speedup");
+        println!(
+            "{:>10} {:>12} {:>10} {:>14}",
+            "threads", "ms/exec", "speedup", "samples·p/s"
+        );
 
         let mut reference: Option<Tensor> = None;
         let mut serial_ms = 0.0f64;
@@ -109,19 +170,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             // devices; only the exec options differ between runs
             let mut prng = Rng::from_seed(cli.seed).stream(RngStream::Device);
             let engine = CrossbarLinear::program(&w, &run_cfg, &mut prng)?;
-            let mut best_ms = f64::INFINITY;
-            let mut out = None;
-            for _ in 0..repeats {
-                let mut xrng = Rng::from_seed(cli.seed ^ 2).stream(RngStream::Noise);
-                let t = Instant::now();
-                let y = engine.execute(&train, &mut xrng)?;
-                best_ms = best_ms.min(t.elapsed().as_secs_f64() * 1e3);
-                out = Some(y);
-            }
-            let y = out.expect("at least one repeat");
+            let (ms, y) = time_execute(&engine, &train, cli.seed ^ 2, repeats)?;
             match &reference {
                 None => {
-                    serial_ms = best_ms;
+                    serial_ms = ms;
                     reference = Some(y);
                 }
                 Some(r) => {
@@ -134,11 +186,13 @@ fn main() -> Result<(), Box<dyn Error>> {
                     );
                 }
             }
-            let speedup = serial_ms / best_ms;
-            println!("{threads:>10} {best_ms:>12.2} {speedup:>9.2}x");
+            let speedup = serial_ms / ms;
+            let sps = throughput(case.batch, case.pulses, ms);
+            println!("{threads:>10} {ms:>12.2} {speedup:>9.2}x {sps:>14.0}");
             entries.push(format!(
-                "{{\"threads\": {threads}, \"ms_per_exec\": {best_ms:.3}, \
-                 \"speedup_vs_serial\": {speedup:.3}, \"bitwise_identical\": true}}"
+                "{{\"threads\": {threads}, \"ms_per_exec\": {ms:.3}, \
+                 \"speedup_vs_serial\": {speedup:.3}, \
+                 \"samples_pulses_per_s\": {sps:.0}, \"bitwise_identical\": true}}"
             ));
         }
         case_json.push(format!(
@@ -159,7 +213,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     writeln!(
         f,
         "{{\"bench\": \"engine\", \"smoke\": {smoke}, \"seed\": {}, \
-         \"host_hardware_threads\": {host_threads}, \"repeats\": {repeats}, \
+         \"host_hardware_threads\": {host_threads}, \"repeats\": {repeats}, \"warmup\": 1, \
+         \"timing\": \"median over repeats after one warmup execute\", \
          \"determinism\": \"outputs bitwise identical across all thread counts\", \
          \"cases\": [{}]}}",
         cli.seed,
@@ -170,5 +225,123 @@ fn main() -> Result<(), Box<dyn Error>> {
     if host_threads == 1 {
         println!("# note: host has a single hardware thread — speedups ≈ 1 are expected here");
     }
+
+    // ------------------------------------------------------------------
+    // Kernel comparison: Reference vs Cached (+ pulse-delta), serial
+    // ------------------------------------------------------------------
+    let kernel_cases: Vec<KernelCase> = if smoke {
+        vec![KernelCase {
+            name: "smoke",
+            out_features: 48,
+            in_features: 96,
+            batch: 8,
+            pulses: 4,
+            tile: 32,
+        }]
+    } else {
+        vec![
+            // the headline configuration: thermometer p=8 on full
+            // 128×128 tiles
+            KernelCase {
+                name: "therm_p8_tile128",
+                out_features: 256,
+                in_features: 256,
+                batch: 32,
+                pulses: 8,
+                tile: 128,
+            },
+            // longer trains amortize the dense pulse further
+            KernelCase {
+                name: "therm_p16_tile128",
+                out_features: 256,
+                in_features: 256,
+                batch: 32,
+                pulses: 16,
+                tile: 128,
+            },
+            // small tiles: more per-tile overhead, same asymptotics
+            KernelCase {
+                name: "therm_p8_tile32",
+                out_features: 256,
+                in_features: 256,
+                batch: 32,
+                pulses: 8,
+                tile: 32,
+            },
+        ]
+    };
+
+    println!("\nMVM kernel comparison (single-threaded, thermometer trains)");
+    println!(
+        "{:>18} {:>12} {:>12} {:>10} {:>14}",
+        "case", "ref ms", "cached ms", "speedup", "cached s·p/s"
+    );
+    let mut kernel_json = Vec::new();
+    for case in &kernel_cases {
+        let w = random_pm1(&[case.out_features, case.in_features], cli.seed ^ 3);
+        let x = random_pm1(&[case.batch, case.in_features], cli.seed ^ 4);
+        let train = Thermometer::new(case.pulses)?.encode_tensor(&x)?;
+        let mut cfg = XbarConfig::realistic(0.05);
+        cfg.tile_rows = case.tile;
+        cfg.tile_cols = case.tile;
+
+        let mut engines = Vec::new();
+        for kernel in [MvmKernel::Reference, MvmKernel::Cached] {
+            cfg.exec = ExecOptions::serial().with_kernel(kernel);
+            // same programming seed ⇒ identical devices; only the kernel
+            // differs between the two engines
+            let mut prng = Rng::from_seed(cli.seed ^ 5).stream(RngStream::Device);
+            engines.push(CrossbarLinear::program(&w, &cfg, &mut prng)?);
+        }
+        let (ref_ms, y_ref) = time_execute(&engines[0], &train, cli.seed ^ 6, repeats)?;
+        let (cached_ms, y_cached) = time_execute(&engines[1], &train, cli.seed ^ 6, repeats)?;
+
+        let mut max_abs_diff = 0.0f32;
+        for (a, b) in y_cached.as_slice().iter().zip(y_ref.as_slice()) {
+            let diff = (a - b).abs();
+            max_abs_diff = max_abs_diff.max(diff);
+            assert!(
+                diff <= 1e-5 * (1.0 + b.abs()),
+                "{}: kernels disagree ({a} vs {b})",
+                case.name
+            );
+        }
+        let speedup = ref_ms / cached_ms;
+        let sps = throughput(case.batch, case.pulses, cached_ms);
+        println!(
+            "{:>18} {ref_ms:>12.2} {cached_ms:>12.2} {speedup:>9.2}x {sps:>14.0}",
+            case.name
+        );
+        kernel_json.push(format!(
+            "{{\"case\": \"{}\", \"out_features\": {}, \"in_features\": {}, \
+             \"batch\": {}, \"pulses\": {}, \"tile\": {}, \"train\": \"thermometer\", \
+             \"reference_ms\": {ref_ms:.3}, \"cached_ms\": {cached_ms:.3}, \
+             \"speedup\": {speedup:.3}, \
+             \"reference_samples_pulses_per_s\": {:.0}, \
+             \"cached_samples_pulses_per_s\": {sps:.0}, \
+             \"max_abs_diff\": {max_abs_diff:.3e}, \"agree_within_tolerance\": true}}",
+            json_escape(case.name),
+            case.out_features,
+            case.in_features,
+            case.batch,
+            case.pulses,
+            case.tile,
+            throughput(case.batch, case.pulses, ref_ms),
+        ));
+    }
+
+    let mvm_path = results_dir().join("BENCH_mvm.json");
+    let mut f = std::fs::File::create(&mvm_path)?;
+    writeln!(
+        f,
+        "{{\"bench\": \"mvm_kernels\", \"smoke\": {smoke}, \"seed\": {}, \
+         \"repeats\": {repeats}, \"warmup\": 1, \"threads\": 1, \
+         \"timing\": \"median over repeats after one warmup execute\", \
+         \"tolerance\": \"cached agrees with reference within 1e-5 relative\", \
+         \"cases\": [{}]}}",
+        cli.seed,
+        kernel_json.join(", ")
+    )?;
+    println!("# wrote {}", mvm_path.display());
     Ok(())
 }

@@ -13,7 +13,7 @@ use membit_data::Dataset;
 use membit_encoding::pla::PlaThermometer;
 use membit_encoding::BitEncoder;
 use membit_nn::{Params, Vgg};
-use membit_tensor::{im2col, Conv2dGeometry, Rng, Tensor, TensorError};
+use membit_tensor::{im2col_into, Conv2dGeometry, Rng, Tensor, TensorError};
 use membit_xbar::{
     CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy, RemapReport, XbarConfig,
 };
@@ -230,9 +230,17 @@ impl DeviceVgg {
         let mut stats = ExecutionStats::default();
         let n = images.shape()[0];
         let mut act = images.clone();
+        // one column buffer reused across every conv layer of the batch
+        // (sized by the largest lowering, allocated once per forward)
+        let mut col_buf: Vec<f32> = Vec::new();
         for layer in &self.convs {
             let (oh, ow) = (layer.geom.out_h(), layer.geom.out_w());
-            let cols = im2col(&act, &layer.geom)?;
+            im2col_into(&act, &layer.geom, &mut col_buf)?;
+            let rows = col_buf.len() / layer.geom.patch_len();
+            let cols = Tensor::from_vec(
+                std::mem::take(&mut col_buf),
+                &[rows, layer.geom.patch_len()],
+            )?;
             let out_rows = match &layer.kernel {
                 ConvKernel::Digital(wmat) => cols.matmul(&wmat.transpose()?)?,
                 ConvKernel::Crossbar { engine, pulses } => {
@@ -243,6 +251,7 @@ impl DeviceVgg {
                     y
                 }
             };
+            col_buf = cols.into_vec(); // hand the allocation to the next layer
             let mut out = out_rows
                 .into_reshaped(&[n, oh, ow, layer.out_channels])?
                 .nhwc_to_nchw()?;

@@ -316,13 +316,16 @@ fn run_one_epoch(
     let mut batches = 0usize;
     let mut correct = 0usize;
     let mut seen = 0usize;
+    // one tape for the whole epoch: reset() keeps node and im2col-buffer
+    // allocations, so per-batch forward passes stop re-allocating
+    let mut tape = Tape::new();
     for (images, labels) in shuffled.batches(cfg.batch_size) {
         let images = if cfg.augment_flip {
             flip_batch(&images, aug_rng)
         } else {
             images
         };
-        let mut tape = Tape::new();
+        tape.reset();
         let mut binding = params.binding();
         let x = tape.constant(images);
         let logits = model.forward(&mut tape, params, &mut binding, x, Phase::Train, hook)?;
@@ -434,8 +437,9 @@ pub fn evaluate_with_hook(
     hook: &mut dyn MvmNoiseHook,
 ) -> Result<f32> {
     let mut correct = 0usize;
+    let mut tape = Tape::new();
     for (images, labels) in data.batches(batch_size) {
-        let mut tape = Tape::new();
+        tape.reset();
         let mut binding = params.frozen_binding();
         let x = tape.constant(images);
         let logits = model.forward(&mut tape, params, &mut binding, x, Phase::Eval, hook)?;

@@ -38,7 +38,7 @@ mod train;
 pub mod variance;
 
 pub use schemes::{Amplitude, BitEncoder, BitSlicing, Thermometer};
-pub use train::PulseTrain;
+pub use train::{PulseTrain, TrainKind};
 
 /// Convenience alias matching [`membit_tensor::Result`].
 pub type Result<T> = std::result::Result<T, membit_tensor::TensorError>;

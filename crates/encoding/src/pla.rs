@@ -133,6 +133,10 @@ impl BitEncoder for PlaThermometer {
         1.0
     }
 
+    fn emits_nested_unary(&self) -> bool {
+        true
+    }
+
     fn encode_value(&self, value: f32) -> Result<Vec<f32>> {
         if !value.is_finite() {
             return Err(TensorError::InvalidArgument(format!(
@@ -174,7 +178,7 @@ pub fn approximate_train(train: &PulseTrain, q: usize) -> Result<PulseTrain> {
             pulses[i].as_mut_slice()[flat] = bit;
         }
     }
-    PulseTrain::new(pulses, vec![1.0; q])
+    PulseTrain::nested_unary(pulses)
 }
 
 #[cfg(test)]

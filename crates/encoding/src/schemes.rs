@@ -67,8 +67,20 @@ pub trait BitEncoder {
         sq / (norm * norm) * sigma2
     }
 
+    /// Whether this encoder's trains are nested unary codes
+    /// ([`TrainKind::NestedUnary`](crate::TrainKind::NestedUnary)):
+    /// unit-weight pulses where each element runs `+1…+1, −1…−1`.
+    /// Thermometer-family encoders override this so
+    /// [`encode_tensor`](Self::encode_tensor) tags their trains and
+    /// execution engines can use the incremental pulse-delta fast path.
+    fn emits_nested_unary(&self) -> bool {
+        false
+    }
+
     /// Encodes a whole activation tensor (any shape) into a
-    /// [`PulseTrain`]: one ±1 tensor per pulse plus the weights.
+    /// [`PulseTrain`]: one ±1 tensor per pulse plus the weights. Trains
+    /// from encoders with [`emits_nested_unary`](Self::emits_nested_unary)
+    /// are built through [`PulseTrain::nested_unary`] and carry its tag.
     ///
     /// # Errors
     ///
@@ -84,6 +96,9 @@ pub trait BitEncoder {
             for (i, &bit) in code.iter().enumerate() {
                 pulses[i].as_mut_slice()[flat] = bit;
             }
+        }
+        if self.emits_nested_unary() {
+            return PulseTrain::nested_unary(pulses);
         }
         let weights = (0..p).map(|i| self.pulse_weight(i)).collect();
         PulseTrain::new(pulses, weights)
@@ -147,6 +162,10 @@ impl BitEncoder for Thermometer {
 
     fn pulse_weight(&self, _i: usize) -> f32 {
         1.0
+    }
+
+    fn emits_nested_unary(&self) -> bool {
+        true
     }
 
     fn encode_value(&self, value: f32) -> Result<Vec<f32>> {

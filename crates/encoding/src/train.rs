@@ -5,6 +5,21 @@ use membit_tensor::{Tensor, TensorError};
 
 use crate::Result;
 
+/// Structural class of a [`PulseTrain`], used by execution engines to
+/// pick specialized evaluation paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainKind {
+    /// No structure guaranteed beyond the [`PulseTrain`] invariants.
+    Generic,
+    /// Unit-weight train whose pulses are *nested*: per element, every
+    /// pulse entry is ±1 and the sequence is monotonically non-increasing
+    /// (`+1…+1, −1…−1`), so each element switches `+1 → −1` at most once.
+    /// Thermometer/unary codes have exactly this shape (paper Eq. 3),
+    /// which lets an engine evaluate pulse `t+1` as a sparse delta on
+    /// pulse `t`.
+    NestedUnary,
+}
+
 /// A sequence of same-shaped ±1 pulse tensors plus their accumulation
 /// weights.
 ///
@@ -15,6 +30,7 @@ use crate::Result;
 pub struct PulseTrain {
     pulses: Vec<Tensor>,
     weights: Vec<f32>,
+    kind: TrainKind,
 }
 
 impl PulseTrain {
@@ -45,7 +61,48 @@ impl PulseTrain {
                 rhs: bad.shape().to_vec(),
             });
         }
-        Ok(Self { pulses, weights })
+        Ok(Self {
+            pulses,
+            weights,
+            kind: TrainKind::Generic,
+        })
+    }
+
+    /// Bundles unit-weight pulses as a [`TrainKind::NestedUnary`] train,
+    /// validating the nesting invariant (every entry ±1, per-element
+    /// monotonically non-increasing over pulses). Thermometer-family
+    /// encoders produce their trains through this constructor so engines
+    /// can trust the tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`new`](Self::new) errors, plus
+    /// [`TensorError::InvalidArgument`] when the pulses are not nested
+    /// unary.
+    pub fn nested_unary(pulses: Vec<Tensor>) -> Result<Self> {
+        let weights = vec![1.0; pulses.len()];
+        let mut train = Self::new(pulses, weights)?;
+        for (pi, pulse) in train.pulses.iter().enumerate() {
+            for (flat, &v) in pulse.as_slice().iter().enumerate() {
+                if v != 1.0 && v != -1.0 {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "nested unary train has non-binary entry {v} (pulse {pi})"
+                    )));
+                }
+                if pi > 0 && v > train.pulses[pi - 1].as_slice()[flat] {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "nested unary train rises at pulse {pi}, element {flat}"
+                    )));
+                }
+            }
+        }
+        train.kind = TrainKind::NestedUnary;
+        Ok(train)
+    }
+
+    /// The structural class of this train.
+    pub fn kind(&self) -> TrainKind {
+        self.kind
     }
 
     /// Number of pulses (crossbar time steps).
@@ -125,6 +182,28 @@ mod tests {
         assert!(d.allclose(&t(&[-1.0 / 7.0, 5.0 / 7.0]), 1e-6));
         assert_eq!(train.latency(), 3);
         assert_eq!(train.weight_norm(), 7.0);
+    }
+
+    #[test]
+    fn nested_unary_tags_and_validates() {
+        // monotone +1→−1 per element: valid
+        let train = PulseTrain::nested_unary(vec![
+            t(&[1.0, 1.0]),
+            t(&[1.0, -1.0]),
+            t(&[-1.0, -1.0]),
+        ])
+        .unwrap();
+        assert_eq!(train.kind(), TrainKind::NestedUnary);
+        assert_eq!(train.weights(), &[1.0, 1.0, 1.0]);
+        // the plain constructor never claims structure
+        let generic = PulseTrain::new(vec![t(&[1.0]), t(&[-1.0])], vec![1.0, 1.0]).unwrap();
+        assert_eq!(generic.kind(), TrainKind::Generic);
+        // rising sequence rejected
+        assert!(PulseTrain::nested_unary(vec![t(&[-1.0]), t(&[1.0])]).is_err());
+        // non-binary entry rejected
+        assert!(PulseTrain::nested_unary(vec![t(&[0.5])]).is_err());
+        // empty rejected (inherits the base validation)
+        assert!(PulseTrain::nested_unary(vec![]).is_err());
     }
 
     #[test]

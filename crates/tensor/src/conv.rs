@@ -91,6 +91,23 @@ impl Conv2dGeometry {
 /// Returns [`TensorError::RankMismatch`] for non-rank-4 input and
 /// [`TensorError::ShapeMismatch`] when the input disagrees with `geom`.
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    im2col_into(input, geom, &mut out)?;
+    let rows = out.len() / geom.patch_len();
+    Tensor::from_vec(out, &[rows, geom.patch_len()])
+}
+
+/// [`im2col`] into a caller-provided buffer, reusing its allocation.
+///
+/// `out` is cleared and resized to `N·OH·OW · C·KH·KW` (zero-filled so
+/// padding positions read 0), then populated; its spare capacity is kept,
+/// so feeding the same buffer to repeated calls amortizes the allocation —
+/// the autograd tape does exactly this across `conv2d` forwards.
+///
+/// # Errors
+///
+/// Same contract as [`im2col`].
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Vec<f32>) -> Result<()> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             op: "im2col",
@@ -113,7 +130,8 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     }
     let (oh, ow) = (geom.out_h(), geom.out_w());
     let patch = geom.patch_len();
-    let mut out = vec![0.0f32; n * oh * ow * patch];
+    out.clear();
+    out.resize(n * oh * ow * patch, 0.0);
     let src = input.as_slice();
     let pad = geom.padding as isize;
     for ni in 0..n {
@@ -144,7 +162,7 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, patch])
+    Ok(())
 }
 
 /// Adjoint of [`im2col`]: scatter-adds the patch-matrix gradient
@@ -315,6 +333,24 @@ mod tests {
             cols.row(0),
             vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]
         );
+    }
+
+    #[test]
+    fn im2col_into_reuses_dirty_buffers() {
+        let x = Tensor::from_fn(&[2, 2, 4, 4], |i| ((i * 3 % 17) as f32) - 8.0);
+        let g = Conv2dGeometry::new(2, 4, 4, 3, 3, 1, 1).unwrap();
+        let fresh = im2col(&x, &g).unwrap();
+        // a buffer full of garbage (wrong size, nonzero) must yield the
+        // same patch matrix — including the zero padding positions
+        let mut buf = vec![f32::NAN; 7];
+        im2col_into(&x, &g, &mut buf).unwrap();
+        assert_eq!(buf, fresh.as_slice());
+        let cap = buf.capacity();
+        im2col_into(&x, &g, &mut buf).unwrap();
+        assert_eq!(buf.capacity(), cap, "repeat call must not reallocate");
+        assert_eq!(buf, fresh.as_slice());
+        // errors propagate without touching validity guarantees
+        assert!(im2col_into(&Tensor::zeros(&[4]), &g, &mut buf).is_err());
     }
 
     #[test]

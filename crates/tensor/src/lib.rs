@@ -35,7 +35,7 @@ mod reduce;
 mod rng;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use matmul::{matmul_into, MatmulOptions};
 pub use rng::{Rng, RngStream};

@@ -179,18 +179,102 @@ impl Rng {
         self.next_f32() < p
     }
 
-    /// Gaussian sample via Box–Muller.
-    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        if let Some(z) = self.cached_normal.take() {
-            return mean + std * z;
-        }
+    /// One fresh Box–Muller pair: the first sample already scaled to
+    /// `(mean, std)`, the second as the raw unit spare `r·sinθ` (scaled at
+    /// use time, exactly like [`normal`](Self::normal)'s cache).
+    #[inline]
+    fn normal_fresh_pair(&mut self, mean: f32, std: f32) -> (f32, f32) {
         // Draw u1 in (0, 1] to avoid ln(0).
         let u1: f32 = 1.0 - self.next_f32();
         let u2: f32 = self.next_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
-        self.cached_normal = Some(r * theta.sin());
-        mean + std * r * theta.cos()
+        (mean + std * r * theta.cos(), r * theta.sin())
+    }
+
+    /// Gaussian sample via Box–Muller.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if let Some(z) = self.cached_normal.take() {
+            return mean + std * z;
+        }
+        let (value, spare) = self.normal_fresh_pair(mean, std);
+        self.cached_normal = Some(spare);
+        value
+    }
+
+    /// Fills `out` with i.i.d. `N(mean, std)` samples, consuming both
+    /// Box–Muller outputs per uniform pair directly instead of routing the
+    /// spare through the per-call cache.
+    ///
+    /// Draw-for-draw bit-compatible with `out.len()` sequential
+    /// [`normal`](Self::normal) calls: any pre-existing cached spare is
+    /// consumed first and a trailing odd sample leaves its spare cached,
+    /// so mixing `normal_fill` with `normal` never shifts the stream.
+    pub fn normal_fill(&mut self, mean: f32, std: f32, out: &mut [f32]) {
+        let mut iter = out.iter_mut();
+        if self.cached_normal.is_some() {
+            match iter.next() {
+                Some(o) => *o = self.normal(mean, std),
+                None => return,
+            }
+        }
+        while let Some(a) = iter.next() {
+            let (value, spare) = self.normal_fresh_pair(mean, std);
+            *a = value;
+            match iter.next() {
+                Some(b) => *b = mean + std * spare,
+                None => self.cached_normal = Some(spare),
+            }
+        }
+    }
+
+    /// Adds i.i.d. `N(0, std)` noise to every element of `out` — the
+    /// accumulate form of [`normal_fill`](Self::normal_fill), with the
+    /// same bit-compatibility guarantee.
+    pub fn normal_accum(&mut self, std: f32, out: &mut [f32]) {
+        let mut iter = out.iter_mut();
+        if self.cached_normal.is_some() {
+            match iter.next() {
+                Some(o) => *o += self.normal(0.0, std),
+                None => return,
+            }
+        }
+        while let Some(a) = iter.next() {
+            let (value, spare) = self.normal_fresh_pair(0.0, std);
+            *a += value;
+            match iter.next() {
+                Some(b) => *b += 0.0 + std * spare,
+                None => self.cached_normal = Some(spare),
+            }
+        }
+    }
+
+    /// Adds `N(0, factor·√vars[j])` noise to `out[j]` for every element
+    /// with `vars[j] > 0`, skipping (and drawing nothing for) the rest —
+    /// the per-column aggregated-variance pattern of the crossbar
+    /// cycle-to-cycle read noise.
+    ///
+    /// Bit-compatible with the equivalent gated sequence of
+    /// [`normal`](Self::normal) calls; the Box–Muller spare is kept in a
+    /// local between gated draws and written back to the cache at the
+    /// end.
+    pub fn normal_accum_gated(&mut self, factor: f32, vars: &[f32], out: &mut [f32]) {
+        let mut spare = self.cached_normal.take();
+        for (o, &v) in out.iter_mut().zip(vars) {
+            if v <= 0.0 {
+                continue;
+            }
+            let std = factor * v.sqrt();
+            match spare.take() {
+                Some(z) => *o += 0.0 + std * z,
+                None => {
+                    let (value, z) = self.normal_fresh_pair(0.0, std);
+                    *o += value;
+                    spare = Some(z);
+                }
+            }
+        }
+        self.cached_normal = spare;
     }
 
     /// Tensor of i.i.d. Gaussian samples.
@@ -339,6 +423,67 @@ mod tests {
         let t = rng.normal_tensor(&[50_000], 2.0, 3.0);
         assert!((t.mean() - 2.0).abs() < 0.05, "mean was {}", t.mean());
         assert!((t.std() - 3.0).abs() < 0.05, "std was {}", t.std());
+    }
+
+    #[test]
+    fn normal_fill_matches_sequential_normals_bitwise() {
+        for len in [0usize, 1, 2, 5, 8, 33] {
+            for warm in [false, true] {
+                let mut seq = Rng::from_seed(77).stream(RngStream::Noise);
+                let mut fill = Rng::from_seed(77).stream(RngStream::Noise);
+                if warm {
+                    // odd draw leaves a hot Box–Muller cache in both
+                    seq.normal(0.0, 1.0);
+                    fill.normal(0.0, 1.0);
+                }
+                let expect: Vec<f32> = (0..len).map(|_| seq.normal(0.25, 1.75)).collect();
+                let mut got = vec![0.0f32; len];
+                fill.normal_fill(0.25, 1.75, &mut got);
+                assert_eq!(expect, got, "len {len} warm {warm}");
+                // streams stay aligned afterwards
+                assert_eq!(seq.normal(0.0, 1.0), fill.normal(0.0, 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn normal_accum_matches_sequential_adds_bitwise() {
+        for len in [1usize, 4, 7] {
+            let mut seq = Rng::from_seed(31);
+            let mut acc = Rng::from_seed(31);
+            let base: Vec<f32> = (0..len).map(|i| i as f32 - 2.0).collect();
+            let mut expect = base.clone();
+            for o in expect.iter_mut() {
+                *o += seq.normal(0.0, 0.6);
+            }
+            let mut got = base;
+            acc.normal_accum(0.6, &mut got);
+            assert_eq!(expect, got, "len {len}");
+            assert_eq!(seq.normal(0.0, 1.0), acc.normal(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn normal_accum_gated_matches_gated_sequential_draws() {
+        let vars = [0.5f32, 0.0, 2.0, -1.0, 0.25, 3.0, 0.0, 1.0, 4.0];
+        let mut seq = Rng::from_seed(63);
+        let mut acc = Rng::from_seed(63);
+        // warm the cache so the gated path must consume it first
+        seq.normal(0.0, 1.0);
+        acc.normal(0.0, 1.0);
+        let factor = 0.3f32;
+        let mut expect = vec![1.0f32; vars.len()];
+        for (o, &v) in expect.iter_mut().zip(&vars) {
+            if v > 0.0 {
+                *o += seq.normal(0.0, factor * v.sqrt());
+            }
+        }
+        let mut got = vec![1.0f32; vars.len()];
+        acc.normal_accum_gated(factor, &vars, &mut got);
+        assert_eq!(expect, got);
+        // the trailing spare must land back in the cache identically
+        assert_eq!(seq.normal(0.0, 1.0), acc.normal(0.0, 1.0));
+        assert_eq!(seq.next_u64(), acc.next_u64());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The crossbar execution engine: tile partitioning and pulse-train MVM.
 
-use membit_encoding::PulseTrain;
+use membit_encoding::{PulseTrain, TrainKind};
 use membit_tensor::parallel::{plan_threads, scoped_chunks};
 use membit_tensor::{Rng, Tensor, TensorError};
 
@@ -9,7 +9,7 @@ use crate::energy::ExecutionStats;
 use crate::noise::NoiseSpec;
 use crate::program::{ProgramStats, WriteVerify};
 use crate::remap::{remap_tile, RecoveryPolicy, RemapReport};
-use crate::tile::Tile;
+use crate::tile::{MvmKernel, Tile};
 use crate::Result;
 
 /// Host-side execution options: how programming and pulse execution fan
@@ -26,6 +26,12 @@ pub struct ExecOptions {
     /// Minimum input vectors per worker; small batches stay
     /// single-threaded to avoid spawn overhead.
     pub samples_per_thread: usize,
+    /// Which tile MVM kernel executes pulses. [`MvmKernel::Cached`] (the
+    /// default) additionally unlocks the incremental pulse-delta schedule
+    /// for [nested-unary](TrainKind::NestedUnary) trains;
+    /// [`MvmKernel::Reference`] is the escape hatch for differential
+    /// testing and debugging.
+    pub kernel: MvmKernel,
 }
 
 impl Default for ExecOptions {
@@ -35,6 +41,7 @@ impl Default for ExecOptions {
                 .map(|n| n.get())
                 .unwrap_or(1),
             samples_per_thread: 2,
+            kernel: MvmKernel::Cached,
         }
     }
 }
@@ -46,6 +53,7 @@ impl ExecOptions {
         Self {
             max_threads: 1,
             samples_per_thread: usize::MAX,
+            kernel: MvmKernel::Cached,
         }
     }
 
@@ -55,6 +63,12 @@ impl ExecOptions {
             max_threads,
             ..Self::default()
         }
+    }
+
+    /// These options with the given MVM kernel.
+    pub fn with_kernel(mut self, kernel: MvmKernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Validates the options.
@@ -368,6 +382,9 @@ impl CrossbarLinear {
         s0: usize,
         ablock: &mut [f32],
     ) -> Result<ExecutionStats> {
+        if self.config.exec.kernel == MvmKernel::Cached && train.kind() == TrainKind::NestedUnary {
+            return self.execute_block_delta(train, base, s0, ablock);
+        }
         let nb = ablock.len() / self.out_features;
         let mut stats = ExecutionStats::default();
         let mut out_buf = vec![0.0f32; nb * self.config.tile_cols];
@@ -392,6 +409,7 @@ impl CrossbarLinear {
                         &self.config.noise,
                         &mut rngs,
                         out,
+                        self.config.exec.kernel,
                     )?;
                     stats.tile_mvms += nb as u64;
                     stats.cell_reads += (nb * trows * tcols) as u64;
@@ -407,6 +425,81 @@ impl CrossbarLinear {
                             *a += pulse_weight * v;
                         }
                     }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The incremental-pulse fast path of
+    /// [`execute_block`](Self::execute_block), taken for
+    /// [nested-unary](TrainKind::NestedUnary) trains under
+    /// [`MvmKernel::Cached`]: per `(tile, sample)`, pulse 0 is one dense
+    /// cached-weight accumulation and every later pulse only re-visits
+    /// the rows that switched `+1 → −1` — `O(rows·cols + Δ·cols)` analog
+    /// work per sample instead of `O(pulses·rows·cols)`.
+    ///
+    /// The loop nest is tile-major (the running pre-sign accumulator
+    /// lives per tile), but every pulse readout still draws from
+    /// `base.substream(&[pulse, sample, row_tile, col_tile])`, so noise
+    /// realizations are bit-identical to the reference schedule and to
+    /// any thread split. Event stats count *modeled* hardware work — one
+    /// analog MVM per tile per pulse — not host arithmetic, so they match
+    /// the reference path exactly.
+    fn execute_block_delta(
+        &self,
+        train: &PulseTrain,
+        base: &Rng,
+        s0: usize,
+        ablock: &mut [f32],
+    ) -> Result<ExecutionStats> {
+        let nb = ablock.len() / self.out_features;
+        let np = train.num_pulses();
+        let pulses = train.pulses();
+        let mut stats = ExecutionStats {
+            pulses: (np * nb) as u64,
+            ..Default::default()
+        };
+        let mut acc_buf = vec![0.0f32; self.config.tile_cols];
+        let mut out_buf = vec![0.0f32; self.config.tile_cols];
+        for (ri, &r0) in self.row_starts.iter().enumerate() {
+            for (ci, &c0) in self.col_starts.iter().enumerate() {
+                let tile = &self.tiles[ri][ci];
+                let (trows, tcols) = tile.dims();
+                let acc = &mut acc_buf[..tcols];
+                let out = &mut out_buf[..tcols];
+                for s in 0..nb {
+                    let sample = s0 + s;
+                    let x_at = |pi: usize| {
+                        let start = sample * self.in_features + r0;
+                        &pulses[pi].as_slice()[start..start + trows]
+                    };
+                    let arow_start = s * self.out_features + c0;
+                    for pi in 0..np {
+                        if pi == 0 {
+                            tile.accumulate_dense(x_at(0), acc);
+                        } else {
+                            tile.accumulate_delta(x_at(pi - 1), x_at(pi), acc);
+                        }
+                        let mut rng = base
+                            .substream(&[pi as u64, sample as u64, ri as u64, ci as u64]);
+                        tile.finish_pulse(acc, &self.config.noise, &mut rng, out);
+                        if let Some(adc) = &self.adcs[ri] {
+                            adc.convert_slice(out);
+                        }
+                        // unit pulse weights by the nested-unary invariant
+                        for (a, &v) in ablock[arow_start..arow_start + tcols]
+                            .iter_mut()
+                            .zip(out.iter())
+                        {
+                            *a += v;
+                        }
+                    }
+                }
+                stats.tile_mvms += (np * nb) as u64;
+                stats.cell_reads += (np * nb * trows * tcols) as u64;
+                if self.adcs[ri].is_some() {
+                    stats.adc_conversions += (np * nb * tcols) as u64;
                 }
             }
         }
@@ -762,6 +855,65 @@ mod tests {
         let stats = xbar.refresh(&mut rng);
         assert!(stats.write_pulses > 0);
         assert!((xbar.measure_decay(32, &mut rng) - 1.0).abs() < 1e-6);
+    }
+
+    /// Two engines with identical hardware (same programming seed) that
+    /// differ only in the configured MVM kernel.
+    fn kernel_pair(mut cfg: XbarConfig, w: &Tensor, seed: u64) -> (CrossbarLinear, CrossbarLinear) {
+        cfg.exec.kernel = MvmKernel::Cached;
+        let mut rng_c = Rng::from_seed(seed);
+        let cached = CrossbarLinear::program(w, &cfg, &mut rng_c).unwrap();
+        cfg.exec.kernel = MvmKernel::Reference;
+        let mut rng_r = Rng::from_seed(seed);
+        let reference = CrossbarLinear::program(w, &cfg, &mut rng_r).unwrap();
+        (cached, reference)
+    }
+
+    #[test]
+    fn delta_path_matches_reference_on_thermometer_trains() {
+        // realistic trimmings: tiling, ADC, c2c + output noise, IR drop —
+        // the delta schedule must agree with the reference kernel because
+        // the noise substreams are keyed, not positional
+        let mut cfg = XbarConfig::realistic(0.3);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        cfg.noise.device.c2c_sigma = 0.03;
+        cfg.noise.device.ir_drop_alpha = 0.05;
+        cfg.noise.device.on_off_ratio = 20.0;
+        let w = random_pm1(&[20, 33], 40);
+        let (cached, reference) = kernel_pair(cfg, &w, 41);
+        let x = random_pm1(&[3, 33], 42);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        assert_eq!(train.kind(), membit_encoding::TrainKind::NestedUnary);
+        let (y_fast, stats_fast) = cached
+            .execute_with_stats(&train, &mut Rng::from_seed(43))
+            .unwrap();
+        let (y_ref, stats_ref) = reference
+            .execute_with_stats(&train, &mut Rng::from_seed(43))
+            .unwrap();
+        assert!(y_fast.allclose(&y_ref, 1e-4), "{y_fast:?} vs {y_ref:?}");
+        // modeled hardware events are identical — the fast path saves
+        // host arithmetic, not analog work
+        assert_eq!(stats_fast, stats_ref);
+    }
+
+    #[test]
+    fn cached_kernel_is_bitwise_reference_on_generic_binary_trains() {
+        // bit-sliced trains skip the delta schedule but still use the
+        // cached kernel, which is exactly equal for ±1 pulses
+        let mut cfg = XbarConfig::functional(0.5);
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        cfg.noise.device.c2c_sigma = 0.02;
+        cfg.noise.device.on_off_ratio = 20.0;
+        let w = random_pm1(&[10, 19], 44);
+        let (cached, reference) = kernel_pair(cfg, &w, 45);
+        let x = random_pm1(&[2, 19], 46);
+        let train = BitSlicing::new(4).unwrap().encode_tensor(&x).unwrap();
+        assert_eq!(train.kind(), membit_encoding::TrainKind::Generic);
+        let y_fast = cached.execute(&train, &mut Rng::from_seed(47)).unwrap();
+        let y_ref = reference.execute(&train, &mut Rng::from_seed(47)).unwrap();
+        assert_eq!(y_fast.as_slice(), y_ref.as_slice());
     }
 
     #[test]

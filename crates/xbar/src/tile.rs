@@ -10,6 +10,51 @@ use crate::noise::NoiseSpec;
 use crate::program::{program_cell_verified_with_health, ProgramStats, WriteVerify};
 use crate::Result;
 
+/// Which inner loop an analog MVM runs.
+///
+/// Both kernels compute the same model; [`Cached`](MvmKernel::Cached) is
+/// the production fast path and [`Reference`](MvmKernel::Reference) the
+/// original per-cell formulation kept for differential testing. For
+/// binary (±1/0) inputs the two are **bitwise identical**: the cache
+/// stores exactly `(G⁺−G⁻)·attenuation/(G_on−G_off)` per cell, and
+/// multiplying that by ±1 is exact, so no accumulation order or rounding
+/// changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MvmKernel {
+    /// Accumulate rows of the pre-materialized effective-weight matrix —
+    /// one multiply-add per active cell instead of a subtract, two
+    /// multiplies, and a divide.
+    #[default]
+    Cached,
+    /// Recompute `x·(G⁺−G⁻)·att/denom` from raw conductances per cell
+    /// per pulse.
+    Reference,
+}
+
+/// Derived per-cell quantities the reference kernel recomputes on every
+/// pulse, materialized once per programming event. Maintained **eagerly**:
+/// every `Tile` mutator rebuilds or patches it before returning, so a
+/// stale cache is impossible by construction — there is no dirty flag to
+/// forget.
+#[derive(Debug, Clone)]
+struct WeightCache {
+    /// `(G⁺−G⁻)·attenuation/(G_on−G_off)` per cell, row-major. The
+    /// column polarity sign is *not* folded in (it changes digitally
+    /// without re-programming; keeping it out lets `flip_column` patch a
+    /// single column).
+    w_eff: Vec<f32>,
+    /// `G⁺²+G⁻²` per cell, row-major — the per-cell cycle-to-cycle
+    /// variance contribution (input-independent because `x²=1` for
+    /// active binary inputs).
+    g_sq: Vec<f32>,
+    /// Per-column sum of `g_sq` over rows in ascending order — the
+    /// aggregated c2c variance when *every* row is driven at ±1, which
+    /// is exactly the case for nested-unary pulse trains. Ascending-row
+    /// summation keeps it bitwise equal to the reference kernel's
+    /// accumulated scratch.
+    col_sq: Vec<f32>,
+}
+
 /// A `rows × cols` crossbar tile storing binary weights as differential
 /// conductance pairs.
 ///
@@ -46,6 +91,8 @@ pub struct Tile {
     /// Per-cell IR-drop attenuation (all 1.0 when disabled), row-major.
     attenuation: Vec<f32>,
     device: DeviceModel,
+    /// Always-valid derived state for [`MvmKernel::Cached`].
+    cache: WeightCache,
 }
 
 impl Tile {
@@ -63,6 +110,7 @@ impl Tile {
             tile.g_pos[idx] = device.program_cell_with_health(tile.health_pos[idx], on, rng);
             tile.g_neg[idx] = device.program_cell_with_health(tile.health_neg[idx], !on, rng);
         }
+        tile.rebuild_cache();
         Ok(tile)
     }
 
@@ -102,6 +150,7 @@ impl Tile {
                 &mut stats,
             );
         }
+        tile.rebuild_cache();
         Ok((tile, stats))
     }
 
@@ -151,7 +200,42 @@ impl Tile {
             health_neg,
             attenuation,
             device: *device,
+            cache: WeightCache {
+                w_eff: vec![0.0; cells],
+                g_sq: vec![0.0; cells],
+                col_sq: vec![0.0; cols],
+            },
         })
+    }
+
+    /// Recomputes the whole [`WeightCache`] from the current conductances.
+    fn rebuild_cache(&mut self) {
+        let denom = self.device.g_on - self.device.g_off();
+        for idx in 0..self.rows * self.cols {
+            let (gp, gn) = (self.g_pos[idx], self.g_neg[idx]);
+            self.cache.w_eff[idx] = (gp - gn) * self.attenuation[idx] / denom;
+            self.cache.g_sq[idx] = gp * gp + gn * gn;
+        }
+        for col in 0..self.cols {
+            self.cache.col_sq[col] = (0..self.rows)
+                .map(|row| self.cache.g_sq[row * self.cols + col])
+                .sum();
+        }
+    }
+
+    /// Recomputes the [`WeightCache`] entries of a single column — the
+    /// patch path for mutations that only touch one bitline pair.
+    fn rebuild_cache_col(&mut self, col: usize) {
+        let denom = self.device.g_on - self.device.g_off();
+        for row in 0..self.rows {
+            let idx = row * self.cols + col;
+            let (gp, gn) = (self.g_pos[idx], self.g_neg[idx]);
+            self.cache.w_eff[idx] = (gp - gn) * self.attenuation[idx] / denom;
+            self.cache.g_sq[idx] = gp * gp + gn * gn;
+        }
+        self.cache.col_sq[col] = (0..self.rows)
+            .map(|row| self.cache.g_sq[row * self.cols + col])
+            .sum();
     }
 
     /// The pair of ON-targets for cell pair `idx` in column `col` under
@@ -180,6 +264,7 @@ impl Tile {
             .max(0.0);
             *g *= base.powf(-cell_nu);
         }
+        self.rebuild_cache();
     }
 
     /// Tile dimensions `(rows, cols)`.
@@ -232,6 +317,23 @@ impl Tile {
     /// Returns [`TensorError::InvalidArgument`] on slice-length
     /// mismatches.
     pub fn mvm(&self, x: &[f32], noise: &NoiseSpec, rng: &mut Rng, out: &mut [f32]) -> Result<()> {
+        self.mvm_with(x, noise, rng, out, MvmKernel::default())
+    }
+
+    /// [`mvm`](Self::mvm) with an explicit [`MvmKernel`] choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on slice-length
+    /// mismatches.
+    pub fn mvm_with(
+        &self,
+        x: &[f32],
+        noise: &NoiseSpec,
+        rng: &mut Rng,
+        out: &mut [f32],
+        kernel: MvmKernel,
+    ) -> Result<()> {
         if x.len() != self.rows || out.len() != self.cols {
             return Err(TensorError::InvalidArgument(format!(
                 "mvm expects x[{}] and out[{}], got x[{}] / out[{}]",
@@ -243,7 +345,7 @@ impl Tile {
         }
         let c2c = self.device.c2c_sigma > 0.0;
         let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
-        self.mvm_kernel(x, noise, rng, out, &mut c2c_var);
+        self.mvm_kernel(kernel, x, noise, rng, out, &mut c2c_var);
         Ok(())
     }
 
@@ -265,6 +367,9 @@ impl Tile {
     ///
     /// Returns [`TensorError::InvalidArgument`] on slice-length or
     /// stride/offset mismatches.
+    // a hot inner-loop entry point: slices + layout scalars beat a
+    // params struct that would be rebuilt per tile per pulse
+    #[allow(clippy::too_many_arguments)]
     pub fn mvm_batch(
         &self,
         xs: &[f32],
@@ -273,6 +378,7 @@ impl Tile {
         noise: &NoiseSpec,
         rngs: &mut [Rng],
         out: &mut [f32],
+        kernel: MvmKernel,
     ) -> Result<()> {
         let n = rngs.len();
         if offset + self.rows > stride || xs.len() != n * stride || out.len() != n * self.cols {
@@ -290,7 +396,7 @@ impl Tile {
         for (s, rng) in rngs.iter_mut().enumerate() {
             let x = &xs[s * stride + offset..s * stride + offset + self.rows];
             let o = &mut out[s * self.cols..(s + 1) * self.cols];
-            self.mvm_kernel(x, noise, rng, o, &mut c2c_var);
+            self.mvm_kernel(kernel, x, noise, rng, o, &mut c2c_var);
         }
         Ok(())
     }
@@ -300,12 +406,23 @@ impl Tile {
     /// enabled (it is used as scratch and re-zeroed here).
     fn mvm_kernel(
         &self,
+        kernel: MvmKernel,
         x: &[f32],
         noise: &NoiseSpec,
         rng: &mut Rng,
         out: &mut [f32],
         c2c_var: &mut [f32],
     ) {
+        match kernel {
+            MvmKernel::Cached => self.accumulate_cached(x, out, c2c_var),
+            MvmKernel::Reference => self.accumulate_reference(x, out, c2c_var),
+        }
+        self.apply_sign_and_noise(noise, rng, out, c2c_var);
+    }
+
+    /// Original accumulation: recompute the effective weight of every
+    /// active cell from raw conductances.
+    fn accumulate_reference(&self, x: &[f32], out: &mut [f32], c2c_var: &mut [f32]) {
         let denom = self.device.g_on - self.device.g_off();
         out.fill(0.0);
         let c2c = !c2c_var.is_empty();
@@ -329,24 +446,126 @@ impl Tile {
                 }
             }
         }
+    }
+
+    /// Cached accumulation: one multiply-add per active cell against the
+    /// materialized effective weights. Bitwise identical to
+    /// [`accumulate_reference`](Self::accumulate_reference) for ±1/0
+    /// inputs: `(±1)·w` negates or copies `w` exactly, and the reference
+    /// expression `((±1·(G⁺−G⁻))·att)/denom` is the same exact negation
+    /// of the cached `((G⁺−G⁻)·att)/denom`.
+    fn accumulate_cached(&self, x: &[f32], out: &mut [f32], c2c_var: &mut [f32]) {
+        out.fill(0.0);
+        c2c_var.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let base = i * self.cols;
+            let wrow = &self.cache.w_eff[base..base + self.cols];
+            if c2c_var.is_empty() {
+                for (o, &w) in out.iter_mut().zip(wrow) {
+                    *o += xi * w;
+                }
+            } else {
+                let qrow = &self.cache.g_sq[base..base + self.cols];
+                let xsq = xi * xi;
+                for ((o, v), (&w, &q)) in out
+                    .iter_mut()
+                    .zip(c2c_var.iter_mut())
+                    .zip(wrow.iter().zip(qrow))
+                {
+                    *o += xi * w;
+                    *v += xsq * q;
+                }
+            }
+        }
+    }
+
+    /// Shared readout tail: digital polarity, aggregated c2c noise (from
+    /// the per-column variances in `c2c_var`), then per-column output
+    /// noise. Draw order matches the original fused kernel exactly.
+    fn apply_sign_and_noise(
+        &self,
+        noise: &NoiseSpec,
+        rng: &mut Rng,
+        out: &mut [f32],
+        c2c_var: &[f32],
+    ) {
         // the polarity sign is a digital negation after the sense
         // amplifier; read noise is symmetric so applying it before the
         // noise terms is statistically identical
         for (o, &s) in out.iter_mut().zip(&self.col_sign) {
             *o *= s;
         }
-        if c2c {
-            let s = self.device.c2c_sigma / denom;
-            for (o, &v) in out.iter_mut().zip(c2c_var.iter()) {
-                if v > 0.0 {
-                    *o += rng.normal(0.0, s * v.sqrt());
-                }
-            }
+        if !c2c_var.is_empty() {
+            let denom = self.device.g_on - self.device.g_off();
+            rng.normal_accum_gated(self.device.c2c_sigma / denom, c2c_var, out);
         }
         if noise.output_sigma > 0.0 {
-            for o in out.iter_mut() {
-                *o += rng.normal(0.0, noise.output_sigma);
+            rng.normal_accum(noise.output_sigma, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Nested-unary delta path (engine fast path)
+    // ------------------------------------------------------------------
+
+    /// Dense pre-sign accumulation of one pulse into `acc`
+    /// (`len == cols`): the pulse-0 step of the delta schedule. No noise,
+    /// no polarity — [`finish_pulse`](Self::finish_pulse) applies those.
+    pub(crate) fn accumulate_dense(&self, x: &[f32], acc: &mut [f32]) {
+        acc.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
             }
+            let base = i * self.cols;
+            for (o, &w) in acc.iter_mut().zip(&self.cache.w_eff[base..base + self.cols]) {
+                *o += xi * w;
+            }
+        }
+    }
+
+    /// Sparse update of `acc` from pulse `x_prev` to pulse `x`: only rows
+    /// whose drive changed contribute `(x−x_prev)·w_eff` — for nested
+    /// unary trains that is `−2·w_eff` on the rows that switched
+    /// `+1 → −1`.
+    pub(crate) fn accumulate_delta(&self, x_prev: &[f32], x: &[f32], acc: &mut [f32]) {
+        for (i, (&xp, &xi)) in x_prev.iter().zip(x).enumerate() {
+            if xi == xp {
+                continue;
+            }
+            let d = xi - xp;
+            let base = i * self.cols;
+            for (o, &w) in acc.iter_mut().zip(&self.cache.w_eff[base..base + self.cols]) {
+                *o += d * w;
+            }
+        }
+    }
+
+    /// Turns a pre-sign accumulation into a finished pulse readout in
+    /// `out`: applies the column polarity and draws the same noise the
+    /// fused kernels would. Valid only when every row is driven at ±1
+    /// (nested-unary pulses), which makes the aggregated c2c variance the
+    /// cached per-column total — bitwise the value the reference kernel
+    /// accumulates in that case.
+    pub(crate) fn finish_pulse(
+        &self,
+        acc: &[f32],
+        noise: &NoiseSpec,
+        rng: &mut Rng,
+        out: &mut [f32],
+    ) {
+        for ((o, &a), &s) in out.iter_mut().zip(acc).zip(&self.col_sign) {
+            *o = a * s;
+        }
+        if self.device.c2c_sigma > 0.0 {
+            let denom = self.device.g_on - self.device.g_off();
+            rng.normal_accum_gated(self.device.c2c_sigma / denom, &self.cache.col_sq, out);
+        }
+        if noise.output_sigma > 0.0 {
+            rng.normal_accum(noise.output_sigma, out);
         }
     }
 
@@ -467,6 +686,7 @@ impl Tile {
                 .device
                 .program_cell_with_health(self.health_neg[idx], neg_on, rng);
         }
+        self.rebuild_cache_col(col);
         Ok(())
     }
 
@@ -497,6 +717,7 @@ impl Tile {
                 .device
                 .program_cell_with_health(self.health_neg[idx], neg_on, rng);
         }
+        self.rebuild_cache();
         Ok(())
     }
 
@@ -528,6 +749,7 @@ impl Tile {
                 .device
                 .program_cell_with_health(self.health_neg[idx], neg_on, rng);
         }
+        self.rebuild_cache_col(col);
         Ok(())
     }
 
@@ -567,6 +789,7 @@ impl Tile {
             *g = program_cell_verified_with_health(&self.device, health, on, policy, rng, stats);
             ok &= (*g - target).abs() <= policy.tolerance * target;
         }
+        self.rebuild_cache_col(col);
         Ok(ok)
     }
 
@@ -598,6 +821,63 @@ impl Tile {
                 }
             }
         }
+        self.rebuild_cache();
+    }
+
+    /// Pins the health of one cell and forces its conductance onto the
+    /// matching level: `StuckOn` → `G_on`, `StuckOff` → `G_off`,
+    /// `Healthy` → the cell's exact current target under the present
+    /// polarity. The weight cache is patched, so fault injection through
+    /// this method is safe to interleave with [`MvmKernel::Cached`]
+    /// execution — it exists for tests and instrumentation, which must
+    /// not reach around the API and mutate raw state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for out-of-range
+    /// coordinates.
+    pub fn inject_fault(
+        &mut self,
+        row: usize,
+        col: usize,
+        side: CellSide,
+        health: CellHealth,
+    ) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "inject_fault ({row}, {col}) out of range for {}×{}",
+                self.rows, self.cols
+            )));
+        }
+        let idx = row * self.cols + col;
+        let (pos_on, neg_on) = self.pair_targets(idx, col);
+        let on = match side {
+            CellSide::Pos => pos_on,
+            CellSide::Neg => neg_on,
+        };
+        let g = match health {
+            CellHealth::StuckOn => self.device.g_on,
+            CellHealth::StuckOff => self.device.g_off(),
+            CellHealth::Healthy => {
+                if on {
+                    self.device.g_on
+                } else {
+                    self.device.g_off()
+                }
+            }
+        };
+        match side {
+            CellSide::Pos => {
+                self.health_pos[idx] = health;
+                self.g_pos[idx] = g;
+            }
+            CellSide::Neg => {
+                self.health_neg[idx] = health;
+                self.g_neg[idx] = g;
+            }
+        }
+        self.rebuild_cache_col(col);
+        Ok(())
     }
 }
 
@@ -673,8 +953,16 @@ mod tests {
         let xs: Vec<f32> = (0..n * stride).map(|i| (i % 7) as f32 / 3.0 - 1.0).collect();
         let mut rngs: Vec<Rng> = (0..n as u64).map(|s| Rng::from_seed(100 + s)).collect();
         let mut batch_out = vec![0.0f32; n * 2];
-        tile.mvm_batch(&xs, stride, offset, &noise, &mut rngs, &mut batch_out)
-            .unwrap();
+        tile.mvm_batch(
+            &xs,
+            stride,
+            offset,
+            &noise,
+            &mut rngs,
+            &mut batch_out,
+            MvmKernel::Cached,
+        )
+        .unwrap();
         for s in 0..n {
             let mut rng_s = Rng::from_seed(100 + s as u64);
             let mut out = [0.0f32; 2];
@@ -688,14 +976,15 @@ mod tests {
             assert_eq!(&batch_out[s * 2..(s + 1) * 2], &out);
         }
         // stride too small for offset + rows, wrong xs length, wrong out length
+        let k = MvmKernel::Cached;
         assert!(tile
-            .mvm_batch(&xs[..n * 3], 3, 1, &noise, &mut rngs, &mut batch_out)
+            .mvm_batch(&xs[..n * 3], 3, 1, &noise, &mut rngs, &mut batch_out, k)
             .is_err());
         assert!(tile
-            .mvm_batch(&xs[..7], stride, offset, &noise, &mut rngs, &mut batch_out)
+            .mvm_batch(&xs[..7], stride, offset, &noise, &mut rngs, &mut batch_out, k)
             .is_err());
         assert!(tile
-            .mvm_batch(&xs, stride, offset, &noise, &mut rngs, &mut batch_out[..2])
+            .mvm_batch(&xs, stride, offset, &noise, &mut rngs, &mut batch_out[..2], k)
             .is_err());
     }
 
@@ -869,9 +1158,8 @@ mod tests {
         let mut rng = Rng::from_seed(12);
         let w = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
         let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
-        // manufacture the fault by hand: pin the positive cell ON
-        tile.health_pos[0] = CellHealth::StuckOn;
-        tile.g_pos[0] = device.g_on;
+        // manufacture the fault: pin the positive cell ON
+        tile.inject_fault(0, 0, CellSide::Pos, CellHealth::StuckOn).unwrap();
         // weight −1 wants pos OFF: (g_on − g_on)/denom = 0
         assert!(tile.effective_weight(0, 0).abs() < 1e-5);
         tile.flip_column(0, &mut rng).unwrap();
@@ -886,21 +1174,17 @@ mod tests {
         let mut rng = Rng::from_seed(13);
         let w = weights();
         let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
-        // break a whole row and a whole column by hand
+        // break a whole row and a whole column
         for col in 0..2 {
-            let idx = col; // row 0
-            tile.health_pos[idx] = CellHealth::StuckOff;
-            tile.g_pos[idx] = device.g_off();
-            tile.health_neg[idx] = CellHealth::StuckOff;
-            tile.g_neg[idx] = device.g_off();
+            tile.inject_fault(0, col, CellSide::Pos, CellHealth::StuckOff).unwrap();
+            tile.inject_fault(0, col, CellSide::Neg, CellHealth::StuckOff).unwrap();
         }
         assert!(tile.effective_weight(0, 0).abs() < 1e-5);
         tile.replace_row(0, &mut rng).unwrap();
         assert_eq!(tile.effective_weight(0, 0), 1.0);
         assert_eq!(tile.effective_weight(0, 1), -1.0);
 
-        tile.health_pos[2] = CellHealth::StuckOn; // (1, 0)
-        tile.g_pos[2] = device.g_on;
+        tile.inject_fault(1, 0, CellSide::Pos, CellHealth::StuckOn).unwrap();
         tile.replace_col(0, &mut rng).unwrap();
         assert_eq!(tile.effective_weight(1, 0), -1.0);
         assert_eq!(tile.col_sign(0), 1.0);
@@ -944,10 +1228,138 @@ mod tests {
             .unwrap());
         assert!((tile.effective_weight(0, 0) - 1.0).abs() < 0.05);
 
-        tile.health_pos[0] = CellHealth::StuckOff;
+        tile.inject_fault(0, 0, CellSide::Pos, CellHealth::StuckOff).unwrap();
         assert!(!tile
             .reprogram_pair(0, 0, &escalated, &mut rng, &mut stats)
             .unwrap());
         assert!(tile.reprogram_pair(5, 0, &escalated, &mut rng, &mut stats).is_err());
+    }
+
+    /// A non-trivial device: d2d spread, c2c noise, IR drop, finite
+    /// on/off ratio — exercises every cached quantity.
+    fn lossy_device() -> DeviceModel {
+        let mut device = DeviceModel::ideal();
+        device.d2d_sigma = 0.05;
+        device.c2c_sigma = 0.03;
+        device.ir_drop_alpha = 0.1;
+        device.on_off_ratio = 20.0;
+        device
+    }
+
+    #[test]
+    fn cached_kernel_is_bitwise_reference_for_binary_inputs() {
+        let mut rng = Rng::from_seed(21);
+        let w = Tensor::from_vec(
+            (0..20).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect(),
+            &[5, 4],
+        )
+        .unwrap();
+        let tile = Tile::program(&w, &lossy_device(), &mut rng).unwrap();
+        let noise = NoiseSpec::functional(0.4);
+        let x = [1.0, -1.0, 0.0, 1.0, -1.0];
+        let (mut a, mut b) = ([0.0f32; 4], [0.0f32; 4]);
+        let mut rng_a = Rng::from_seed(77);
+        let mut rng_b = Rng::from_seed(77);
+        tile.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Cached).unwrap();
+        tile.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Reference).unwrap();
+        assert_eq!(a, b, "±1/0 inputs must be bitwise identical across kernels");
+        // generators must stay aligned too (same draw count and order)
+        assert_eq!(
+            rng_a.normal(0.0, 1.0).to_bits(),
+            rng_b.normal(0.0, 1.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn every_mutation_keeps_the_cache_fresh() {
+        // after each mutation the cached kernel must still agree with the
+        // reference kernel, which reads raw conductances and cannot be
+        // stale
+        let mut rng = Rng::from_seed(22);
+        let w = weights();
+        let mut tile = Tile::program(&w, &lossy_device(), &mut rng).unwrap();
+        let check = |tile: &Tile, what: &str| {
+            let x = [1.0, -1.0, 1.0];
+            let (mut a, mut b) = ([0.0f32; 2], [0.0f32; 2]);
+            let mut rng_a = Rng::from_seed(5);
+            let mut rng_b = Rng::from_seed(5);
+            tile.mvm_with(&x, &NoiseSpec::functional(0.2), &mut rng_a, &mut a, MvmKernel::Cached)
+                .unwrap();
+            tile.mvm_with(
+                &x,
+                &NoiseSpec::functional(0.2),
+                &mut rng_b,
+                &mut b,
+                MvmKernel::Reference,
+            )
+            .unwrap();
+            assert_eq!(a, b, "stale cache after {what}");
+        };
+        check(&tile, "program");
+        tile.age(500.0, 0.05, 0.01, &mut rng);
+        check(&tile, "age");
+        tile.flip_column(1, &mut rng).unwrap();
+        check(&tile, "flip_column");
+        tile.replace_row(0, &mut rng).unwrap();
+        check(&tile, "replace_row");
+        tile.replace_col(0, &mut rng).unwrap();
+        check(&tile, "replace_col");
+        let mut stats = ProgramStats::default();
+        tile.reprogram_pair(2, 1, &WriteVerify::standard(), &mut rng, &mut stats)
+            .unwrap();
+        check(&tile, "reprogram_pair");
+        tile.refresh(None, &mut rng, &mut stats);
+        check(&tile, "refresh");
+        tile.refresh(Some(&WriteVerify::standard()), &mut rng, &mut stats);
+        check(&tile, "verified refresh");
+        tile.inject_fault(1, 0, CellSide::Neg, CellHealth::StuckOn).unwrap();
+        check(&tile, "inject_fault");
+        let (tile_v, _) =
+            Tile::program_verified(&w, &lossy_device(), &WriteVerify::standard(), &mut rng)
+                .unwrap();
+        check(&tile_v, "program_verified");
+    }
+
+    #[test]
+    fn delta_schedule_matches_fused_kernel_per_pulse() {
+        // dense pulse 0 + sparse deltas + finish_pulse must reproduce the
+        // fused cached kernel bitwise, pulse by pulse, for a nested-unary
+        // schedule (monotone +1 → −1 per row)
+        let mut rng = Rng::from_seed(23);
+        let w = Tensor::from_vec(
+            (0..24).map(|i| if i % 5 < 2 { -1.0 } else { 1.0 }).collect(),
+            &[4, 6],
+        )
+        .unwrap();
+        let mut tile = Tile::program(&w, &lossy_device(), &mut rng).unwrap();
+        tile.flip_column(3, &mut rng).unwrap(); // non-trivial polarity
+        let noise = NoiseSpec::functional(0.3);
+        // thermometer-style schedule: row r stays +1 for highs[r] pulses
+        let highs = [3usize, 0, 2, 4];
+        let pulse_at = |pi: usize| -> Vec<f32> {
+            highs.iter().map(|&h| if pi < h { 1.0 } else { -1.0 }).collect()
+        };
+        let mut acc = [0.0f32; 6];
+        let mut fast = [0.0f32; 6];
+        let mut slow = [0.0f32; 6];
+        for pi in 0..4 {
+            let x = pulse_at(pi);
+            if pi == 0 {
+                tile.accumulate_dense(&x, &mut acc);
+            } else {
+                tile.accumulate_delta(&pulse_at(pi - 1), &x, &mut acc);
+            }
+            let mut rng_fast = Rng::from_seed(900 + pi as u64);
+            let mut rng_slow = Rng::from_seed(900 + pi as u64);
+            tile.finish_pulse(&acc, &noise, &mut rng_fast, &mut fast);
+            tile.mvm_with(&x, &noise, &mut rng_slow, &mut slow, MvmKernel::Reference)
+                .unwrap();
+            for (f, s) in fast.iter().zip(slow.iter()) {
+                assert!(
+                    (f - s).abs() <= 1e-5,
+                    "pulse {pi}: delta {f} vs reference {s}"
+                );
+            }
+        }
     }
 }

@@ -3,15 +3,16 @@
 //! The engine derives every noise draw from substreams keyed by
 //! `(pulse, sample, row_tile, col_tile)` (programming: `(row_tile,
 //! col_tile)`), so programming + execution must be **bitwise identical**
-//! for every `max_threads` setting — across tile geometries, encoders
-//! and noise models — and the closed-form variance laws (paper Eqs. 2/3)
-//! must keep holding when the Monte-Carlo runs through the parallel
-//! path.
+//! for every `max_threads` setting — across tile geometries, encoders,
+//! noise models **and both MVM kernels** (the cached fast path reorders
+//! its loops but not its substream keys) — and the closed-form variance
+//! laws (paper Eqs. 2/3) must keep holding when the Monte-Carlo runs
+//! through the parallel path.
 
 use membit_encoding::pla::PlaThermometer;
 use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
 use membit_tensor::{Rng, Tensor};
-use membit_xbar::{CrossbarLinear, ExecOptions, ExecutionStats, XbarConfig};
+use membit_xbar::{CrossbarLinear, ExecOptions, ExecutionStats, MvmKernel, XbarConfig};
 use proptest::prelude::*;
 
 fn pm1_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
@@ -27,10 +28,12 @@ fn run(
     mut cfg: XbarConfig,
     seed: u64,
     threads: usize,
+    kernel: MvmKernel,
 ) -> (Vec<f32>, ExecutionStats) {
     cfg.exec = ExecOptions {
         max_threads: threads,
         samples_per_thread: 1,
+        kernel,
     };
     let mut rng = Rng::from_seed(seed);
     let engine = CrossbarLinear::program(w, &cfg, &mut rng).unwrap();
@@ -67,12 +70,17 @@ proptest! {
         cfg.tile_rows = tile_rows;
         cfg.tile_cols = tile_cols;
 
-        let (y1, s1) = run(&w, &train, cfg, seed + 1000, 1);
-        for threads in [2usize, 8] {
-            let (yt, st) = run(&w, &train, cfg, seed + 1000, threads);
-            // outputs bitwise identical, stats exactly equal
-            prop_assert_eq!(&y1, &yt, "outputs diverged at {} threads", threads);
-            prop_assert_eq!(s1, st, "stats diverged at {} threads", threads);
+        for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+            let (y1, s1) = run(&w, &train, cfg, seed + 1000, 1, kernel);
+            for threads in [2usize, 8] {
+                let (yt, st) = run(&w, &train, cfg, seed + 1000, threads, kernel);
+                // outputs bitwise identical, stats exactly equal
+                prop_assert_eq!(
+                    &y1, &yt,
+                    "outputs diverged at {} threads ({:?})", threads, kernel
+                );
+                prop_assert_eq!(s1, st, "stats diverged at {} threads ({:?})", threads, kernel);
+            }
         }
     }
 
@@ -106,6 +114,7 @@ fn monte_carlo_variance_matches_eq3_under_parallel_execution() {
     cfg.exec = ExecOptions {
         max_threads: 8,
         samples_per_thread: 1,
+        kernel: MvmKernel::Cached,
     };
     let mut rng = Rng::from_seed(41);
     let xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
@@ -140,6 +149,7 @@ fn monte_carlo_variance_matches_eq2_under_parallel_execution() {
     cfg.exec = ExecOptions {
         max_threads: 8,
         samples_per_thread: 1,
+        kernel: MvmKernel::Cached,
     };
     let mut rng = Rng::from_seed(42);
     let xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();

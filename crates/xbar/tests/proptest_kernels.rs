@@ -1,0 +1,153 @@
+//! Differential testing of the cached-weight MVM fast path.
+//!
+//! Two properties guard the `MvmKernel::Cached` path (and the
+//! incremental pulse-delta schedule it unlocks for nested-unary trains):
+//!
+//! 1. **Kernel agreement** — on identical hardware, cached and reference
+//!    execution agree within 1e-5 across random tile geometries,
+//!    encoders (thermometer, bit-sliced, PLA, amplitude) and noise
+//!    models, with exactly equal event stats. Noise substreams are keyed
+//!    by `(pulse, sample, row_tile, col_tile)`, so the comparison is
+//!    noise-to-noise, not just mean-to-mean.
+//! 2. **No stale caches** — after any random sequence of tile mutations
+//!    (aging, polarity flips, spare-line replacement, escalated
+//!    reprogramming, refresh, fault injection), the cached kernel still
+//!    agrees bitwise with the reference kernel, which reads raw
+//!    conductances and cannot be stale. Every mutator must rebuild or
+//!    patch the cache eagerly for this to hold.
+
+use membit_encoding::pla::PlaThermometer;
+use membit_encoding::{Amplitude, BitEncoder, BitSlicing, Thermometer};
+use membit_tensor::{Rng, Tensor};
+use membit_xbar::{
+    CellHealth, CellSide, CrossbarLinear, DeviceModel, ExecOptions, ExecutionStats, MvmKernel,
+    NoiseSpec, ProgramStats, Tile, WriteVerify, XbarConfig,
+};
+use proptest::prelude::*;
+
+fn pm1_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::from_seed(seed);
+    Tensor::from_fn(&[rows, cols], |_| if rng.coin(0.5) { 1.0 } else { -1.0 })
+}
+
+/// Programs identical hardware (same seed) and executes under `kernel`.
+fn run(
+    w: &Tensor,
+    train: &membit_encoding::PulseTrain,
+    mut cfg: XbarConfig,
+    seed: u64,
+    kernel: MvmKernel,
+) -> (Vec<f32>, ExecutionStats) {
+    cfg.exec = ExecOptions::serial().with_kernel(kernel);
+    let mut rng = Rng::from_seed(seed);
+    let engine = CrossbarLinear::program(w, &cfg, &mut rng).unwrap();
+    let (y, stats) = engine.execute_with_stats(train, &mut rng).unwrap();
+    (y.as_slice().to_vec(), stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_execution_matches_reference_within_tolerance(
+        seed in 0u64..400,
+        tile_rows in 3usize..12,
+        tile_cols in 3usize..12,
+        encoder in 0usize..4,
+        noise_kind in 0usize..3,
+        batch in 1usize..6,
+    ) {
+        let w = pm1_matrix(10, 14, seed);
+        let x = Tensor::from_fn(&[batch, 14], |i| {
+            (((i * 5 + seed as usize) % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0)
+        });
+        let train = match encoder {
+            0 => Thermometer::new(6).unwrap().encode_tensor(&x).unwrap(),
+            1 => BitSlicing::new(3).unwrap().encode_tensor(&x).unwrap(),
+            2 => PlaThermometer::new(9, 7).unwrap().encode_tensor(&x).unwrap(),
+            // fractional single-pulse inputs: exercises the non-binary case
+            _ => Amplitude::new(9).unwrap().encode_tensor(&x).unwrap(),
+        };
+        let mut cfg = match noise_kind {
+            0 => XbarConfig::ideal(),
+            1 => XbarConfig::functional(0.3),
+            _ => XbarConfig::realistic(0.2), // ADC + variation + write-verify
+        };
+        cfg.noise.device.c2c_sigma = if noise_kind == 2 { 0.03 } else { 0.0 };
+        cfg.noise.device.ir_drop_alpha = if noise_kind == 2 { 0.05 } else { 0.0 };
+        cfg.tile_rows = tile_rows;
+        cfg.tile_cols = tile_cols;
+
+        let (y_fast, s_fast) = run(&w, &train, cfg, seed + 2000, MvmKernel::Cached);
+        let (y_ref, s_ref) = run(&w, &train, cfg, seed + 2000, MvmKernel::Reference);
+        prop_assert_eq!(s_fast, s_ref, "event stats must not depend on the kernel");
+        for (i, (a, b)) in y_fast.iter().zip(&y_ref).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                "element {}: cached {} vs reference {}", i, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_never_leave_a_stale_cache(
+        seed in 0u64..400,
+        rows in 3usize..10,
+        cols in 3usize..10,
+        ops in proptest::collection::vec(0usize..7, 1..10),
+    ) {
+        let mut device = DeviceModel::ideal();
+        device.d2d_sigma = 0.04;
+        device.c2c_sigma = 0.02;
+        device.ir_drop_alpha = 0.05;
+        device.on_off_ratio = 20.0;
+        device.stuck_on_rate = 0.02;
+        device.stuck_off_rate = 0.02;
+        let w = pm1_matrix(rows, cols, seed);
+        let mut rng = Rng::from_seed(seed + 3000);
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        let mut stats = ProgramStats::default();
+
+        // a ±1 probe: the two kernels must agree bitwise on it whenever
+        // the cache is fresh
+        let x: Vec<f32> = (0..rows)
+            .map(|i| if (i + seed as usize).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
+        let noise = NoiseSpec::functional(0.2);
+        let check = |tile: &Tile, op: usize| -> std::result::Result<(), TestCaseError> {
+            let mut fast = vec![0.0f32; cols];
+            let mut slow = vec![0.0f32; cols];
+            let mut rng_a = Rng::from_seed(seed + 4000);
+            let mut rng_b = Rng::from_seed(seed + 4000);
+            tile.mvm_with(&x, &noise, &mut rng_a, &mut fast, MvmKernel::Cached).unwrap();
+            tile.mvm_with(&x, &noise, &mut rng_b, &mut slow, MvmKernel::Reference).unwrap();
+            prop_assert_eq!(fast, slow, "stale cache after op {}", op);
+            Ok(())
+        };
+        check(&tile, 99)?; // fresh from programming
+        for (k, &op) in ops.iter().enumerate() {
+            match op {
+                0 => tile.age(50.0 * (k + 1) as f32, 0.05, 0.01, &mut rng),
+                1 => tile.flip_column(k % cols, &mut rng).unwrap(),
+                2 => tile.replace_row(k % rows, &mut rng).unwrap(),
+                3 => tile.replace_col(k % cols, &mut rng).unwrap(),
+                4 => {
+                    tile.reprogram_pair(k % rows, k % cols, &WriteVerify::standard(), &mut rng, &mut stats)
+                        .map(|_| ())
+                        .unwrap();
+                }
+                5 => tile.refresh(None, &mut rng, &mut stats),
+                _ => {
+                    let side = if k % 2 == 0 { CellSide::Pos } else { CellSide::Neg };
+                    let health = match k % 3 {
+                        0 => CellHealth::StuckOn,
+                        1 => CellHealth::StuckOff,
+                        _ => CellHealth::Healthy,
+                    };
+                    tile.inject_fault(k % rows, k % cols, side, health).unwrap();
+                }
+            }
+            check(&tile, op)?;
+        }
+    }
+}

@@ -20,9 +20,15 @@ echo "=== engine determinism suite ==="
 cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=1
 cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=4
 
-echo "=== bench_engine smoke (results/BENCH_engine.json) ==="
+echo "=== MVM kernel differential suite ==="
+# cached fast path vs reference oracle, plus cache-invalidation fuzzing
+cargo test -q -p membit-xbar --test proptest_kernels
+
+echo "=== bench_engine smoke (BENCH_engine.json + BENCH_mvm.json) ==="
+# exercises both kernels and aborts on any cached/reference disagreement
 ./target/release/bench_engine --smoke
 test -s results/BENCH_engine.json
+test -s results/BENCH_mvm.json
 
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings
