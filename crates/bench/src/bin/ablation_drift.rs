@@ -16,7 +16,7 @@ use membit_xbar::XbarConfig;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let exp = membit_bench::setup_experiment(&cli);
+    let exp = membit_bench::setup_experiment(&cli)?;
     let (vgg, params) = exp.model();
 
     let subset = match cli.scale {

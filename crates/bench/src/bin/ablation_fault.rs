@@ -52,7 +52,7 @@ fn policy_for(label: &str, batch: u64) -> DeploymentPolicy {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let exp = membit_bench::setup_experiment(&cli);
+    let exp = membit_bench::setup_experiment(&cli)?;
     let (vgg, params) = exp.model();
 
     let subset = match cli.scale {
@@ -104,7 +104,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             )?;
             device.age(AGE_HOURS, NU, NU_SIGMA, &mut rng);
             let (acc, stats) = device.evaluate(&subset_set, batch, &mut rng)?;
-            let report = *device.recovery_report();
+            let report = device.recovery_report();
             println!(
                 "{:>10} | {:>8} {:>8.1} {:>14} | {:>8} {:>8} {:>8}",
                 rate,

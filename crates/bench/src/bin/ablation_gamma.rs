@@ -13,7 +13,7 @@ use membit_core::{write_csv, GboConfig};
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
 
     let gammas = [0.0f32, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2];
     println!("γ sweep at σ = {sigma}");

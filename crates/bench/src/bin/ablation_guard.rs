@@ -1,0 +1,313 @@
+//! Ablation G (extension beyond the paper): checksum-guarded execution.
+//!
+//! Two sections:
+//!
+//! 1. **Fault recovery** — deploys the same trained network three ways
+//!    (`clean`: no faults; `unguarded`: 1% transient stuck-at faults
+//!    injected mid-inference; `guarded`: the same faults under the ABFT
+//!    checksum guard with its retry → refresh → remap → fallback ladder)
+//!    and measures how much of the fault-induced accuracy gap the guard
+//!    recovers. Also checks the false-positive escalation rate of the
+//!    guarded arm at fault rate 0.
+//! 2. **Overhead sweep** — times guarded vs plain execution on a
+//!    standalone engine across a σ sweep (median-of-N), asserts bitwise
+//!    determinism of the guarded path and the analytic overhead bounds
+//!    (exactly one checksum conversion per readout, one extra column of
+//!    cell reads per tile per pulse), and records the retry rate. On a
+//!    single-core host the assertions are about determinism and bounded
+//!    overhead, never speedup.
+//!
+//! Writes `ablation_guard.csv` (accuracy rows) and `BENCH_guard.json`
+//! (overhead numbers) under the results directory.
+//!
+//! Options (besides the shared bench flags): `--smoke` — tiny subset +
+//! one timing repeat for CI.
+
+use std::error::Error;
+use std::io::Write as _;
+use std::time::Instant;
+
+use membit_bench::{results_dir, Cli};
+use membit_core::{write_csv, DeploymentPolicy, DeviceEvalConfig, DeviceVgg, GuardAblationRow};
+use membit_data::Dataset;
+use membit_encoding::{BitEncoder, Thermometer};
+use membit_tensor::{Rng, RngStream, Tensor};
+use membit_xbar::{CrossbarLinear, ExecOptions, GuardPolicy, XbarConfig};
+
+/// Transient per-cell stuck-at rate injected mid-inference.
+const FAULT_RATE: f32 = 0.01;
+/// Functional noise level of the deployment in the recovery section.
+const SIGMA: f32 = 0.1;
+
+fn random_pm1(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = Rng::from_seed(seed);
+    Tensor::from_fn(shape, |_| if rng.coin(0.5) { 1.0 } else { -1.0 })
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cli = Cli::parse();
+    let smoke = cli.rest.iter().any(|a| a == "--smoke");
+    let exp = membit_bench::setup_experiment(&cli)?;
+    let (vgg, params) = exp.model();
+
+    let subset = match (smoke, cli.scale) {
+        (true, _) => 40,
+        (false, membit_bench::Scale::Quick) => 100,
+        (false, membit_bench::Scale::Full) => 200,
+    };
+    let batch = 20usize;
+    let test = exp.test_set();
+    let n = subset.min(test.len());
+    let (images, _) = test.batch(0, n)?;
+    let subset_set = Dataset::new(
+        Tensor::from_vec(images.as_slice().to_vec(), images.shape())?,
+        test.labels()[..n].to_vec(),
+        test.num_classes(),
+    )?;
+    let (warm_images, _) = subset_set.batch(0, batch.min(n))?;
+
+    // ------------------------------------------------------------------
+    // Section 1: fault recovery
+    // ------------------------------------------------------------------
+    println!(
+        "guarded-execution ablation ({n} images, σ = {SIGMA}, {:.1}% transient stuck cells \
+         injected mid-inference)",
+        FAULT_RATE * 100.0
+    );
+    println!(
+        "{:>10} | {:>7} | {:>8} {:>6} {:>6} {:>8} {:>6} {:>5} {:>8}",
+        "mode", "acc %", "checks", "viol", "retry", "refresh", "remap", "fall", "degraded"
+    );
+
+    // one evaluation arm: deploy, run one warm batch, inject `rate`
+    // faults mid-inference, evaluate the subset
+    let arm = |label: &str, rate: f32, guard: Option<GuardPolicy>| -> Result<GuardAblationRow, Box<dyn Error>> {
+        let mut xbar = XbarConfig::functional(SIGMA);
+        if let Some(policy) = guard {
+            xbar = xbar.with_guard(policy);
+        }
+        // the guard never consumes programming RNG (arming is a pure
+        // snapshot), so every arm deploys bitwise-identical hardware and
+        // injects the identical fault set from the same seeded stream
+        let mut rng = Rng::from_seed(cli.seed).stream(RngStream::Device);
+        let mut device = DeviceVgg::deploy(
+            vgg,
+            params,
+            &DeviceEvalConfig {
+                xbar,
+                pulses: vec![8; 7],
+                act_levels: 9,
+                policy: DeploymentPolicy::default(),
+            },
+            &mut rng,
+        )?;
+        device.forward(&warm_images, &mut rng)?; // mid-inference context
+        if rate > 0.0 {
+            device.inject_faults(rate, &mut rng)?;
+        }
+        let (acc, stats) = device.evaluate(&subset_set, batch, &mut rng)?;
+        let row = GuardAblationRow::from_stats(label, rate, SIGMA, acc * 100.0, &stats.guard);
+        println!(
+            "{:>10} | {:>7.2} | {:>8} {:>6} {:>6} {:>8} {:>6} {:>5} {:>8}",
+            row.mode,
+            row.accuracy,
+            row.checks,
+            row.violations,
+            row.retries,
+            row.tile_refreshes,
+            row.tile_remaps,
+            row.fallbacks,
+            row.degraded_layers
+        );
+        Ok(row)
+    };
+
+    let clean = arm("clean", 0.0, None)?;
+    let clean_guarded = arm("clean+guard", 0.0, Some(GuardPolicy::standard()))?;
+    let unguarded = arm("unguarded", FAULT_RATE, None)?;
+    let guarded = arm("guarded", FAULT_RATE, Some(GuardPolicy::standard()))?;
+
+    // acceptance: the guard recovers ≥90% of the fault-induced accuracy
+    // gap (trivially true if the faults didn't open one)
+    let gap = clean.accuracy - unguarded.accuracy;
+    let recovered = guarded.accuracy - unguarded.accuracy;
+    let recovery_pct = if gap > 1e-6 { 100.0 * recovered / gap } else { 100.0 };
+    println!();
+    println!(
+        "at {:.0}% faults: unguarded loses {gap:.1} pts, guard recovers {recovered:.1} pts \
+         ({recovery_pct:.0}% of the gap)",
+        FAULT_RATE * 100.0
+    );
+    // the guarded arm consumes different noise draws after its repairs,
+    // so on small subsets a single flipped image can dominate the ratio;
+    // landing within one image of the fault-free deployment also passes
+    let one_image = 100.0 / n as f32;
+    assert!(
+        gap <= 1e-6 || recovery_pct >= 90.0 || clean.accuracy - guarded.accuracy <= one_image + 1e-3,
+        "guard must recover ≥90% of the fault-induced accuracy gap \
+         (or land within one image of clean), got {recovery_pct:.1}%"
+    );
+
+    // acceptance: false-positive escalations below 1% of checks on the
+    // fault-free guarded arm
+    let escalations =
+        clean_guarded.tile_refreshes + clean_guarded.tile_remaps + clean_guarded.fallbacks;
+    let fp_escalation_rate = escalations as f64 / clean_guarded.checks.max(1) as f64;
+    println!(
+        "fault-free guarded arm: {} escalation(s) over {} checks ({:.4}%)",
+        escalations,
+        clean_guarded.checks,
+        100.0 * fp_escalation_rate
+    );
+    assert!(
+        fp_escalation_rate < 0.01,
+        "false-positive escalation rate must stay below 1%, got {fp_escalation_rate}"
+    );
+
+    let rows = [&clean, &clean_guarded, &unguarded, &guarded];
+    let csv_path = results_dir().join("ablation_guard.csv");
+    let records: Vec<Vec<String>> = rows.iter().map(|r| r.to_record()).collect();
+    write_csv(&csv_path, &GuardAblationRow::CSV_HEADER, &records)?;
+    println!("# wrote {}", csv_path.display());
+
+    // ------------------------------------------------------------------
+    // Section 2: overhead sweep on a standalone engine
+    // ------------------------------------------------------------------
+    let repeats = if smoke { 1 } else { 5 };
+    let sigmas: &[f32] = if smoke { &[0.1] } else { &[0.05, 0.1, 0.2] };
+    let (out_features, in_features, obatch, pulses, tile) =
+        if smoke { (32, 64, 8, 4, 16) } else { (64, 128, 16, 8, 32) };
+    let w = random_pm1(&[out_features, in_features], cli.seed ^ 11);
+    let x = random_pm1(&[obatch, in_features], cli.seed ^ 12);
+    let train = Thermometer::new(pulses)?.encode_tensor(&x)?;
+
+    println!(
+        "\nguard overhead sweep ({out_features}×{in_features}, tile {tile}, batch {obatch}, \
+         {pulses} pulses, median of {repeats} repeat(s))"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "sigma", "plain ms", "guarded ms", "overhead", "retry rate", "extra adc %"
+    );
+
+    let mut sweep_json = Vec::new();
+    for &sigma in sigmas {
+        let mut cfg = XbarConfig::functional(sigma);
+        cfg.tile_rows = tile;
+        cfg.tile_cols = tile;
+        // an ADC makes the per-check conversion accounting observable
+        cfg.adc_bits = Some(8);
+        cfg.exec = ExecOptions::serial();
+        let mut prng = Rng::from_seed(cli.seed ^ 13).stream(RngStream::Device);
+        let plain = CrossbarLinear::program(&w, &cfg, &mut prng)?;
+        let gcfg = cfg.with_guard(GuardPolicy::standard());
+        let mut prng = Rng::from_seed(cli.seed ^ 13).stream(RngStream::Device);
+        let mut armed = CrossbarLinear::program(&w, &gcfg, &mut prng)?;
+
+        let mut time_plain = Vec::with_capacity(repeats);
+        let mut time_guarded = Vec::with_capacity(repeats);
+        let mut plain_stats = None;
+        let mut guarded_stats = None;
+        let mut first_output: Option<Vec<f32>> = None;
+        for _ in 0..=repeats {
+            // one warmup iteration (index 0) then timed repeats; every
+            // iteration reseeds, so outputs must be bitwise reproducible
+            let mut xrng = Rng::from_seed(cli.seed ^ 14).stream(RngStream::Noise);
+            let t = Instant::now();
+            let (_, ps) = plain.execute_with_stats(&train, &mut xrng)?;
+            time_plain.push(t.elapsed().as_secs_f64() * 1e3);
+            plain_stats = Some(ps);
+
+            let mut xrng = Rng::from_seed(cli.seed ^ 14).stream(RngStream::Noise);
+            let t = Instant::now();
+            let (gy, gs) = armed.execute_guarded(&train, &mut xrng)?;
+            time_guarded.push(t.elapsed().as_secs_f64() * 1e3);
+            guarded_stats = Some(gs);
+            match &first_output {
+                None => first_output = Some(gy.as_slice().to_vec()),
+                Some(prev) => assert_eq!(
+                    prev.as_slice(),
+                    gy.as_slice(),
+                    "guarded execution must be bitwise reproducible at σ = {sigma}"
+                ),
+            }
+        }
+        time_plain.remove(0);
+        time_guarded.remove(0);
+        let (ps, gs) = (plain_stats.unwrap(), guarded_stats.unwrap());
+
+        // analytic overhead bounds: the checksum column costs exactly one
+        // ADC conversion per guarded readout and `tile_rows` cell reads,
+        // plus whatever the (rare) retries re-execute
+        assert!(gs.guard.checks > 0);
+        let extra_adc = gs.adc_conversions - ps.adc_conversions;
+        let extra_reads = gs.cell_reads - ps.cell_reads;
+        assert_eq!(
+            extra_adc,
+            gs.guard.checks + gs.guard.retries * tile as u64,
+            "one checksum conversion per check (+ retry re-conversions)"
+        );
+        assert_eq!(
+            extra_reads,
+            gs.guard.checks * tile as u64 + gs.guard.retries * (tile * tile) as u64,
+            "one column of cell reads per check (+ retry re-reads)"
+        );
+
+        let plain_ms = median(time_plain);
+        let guarded_ms = median(time_guarded);
+        let overhead = guarded_ms / plain_ms;
+        let retry_rate = gs.guard.retries as f64 / gs.guard.checks as f64;
+        let extra_adc_pct = 100.0 * extra_adc as f64 / ps.adc_conversions as f64;
+        println!(
+            "{sigma:>8} {plain_ms:>12.2} {guarded_ms:>12.2} {overhead:>9.2}x \
+             {retry_rate:>12.4} {extra_adc_pct:>11.1}%"
+        );
+        sweep_json.push(format!(
+            "{{\"sigma\": {sigma}, \"plain_ms\": {plain_ms:.3}, \
+             \"guarded_ms\": {guarded_ms:.3}, \"overhead\": {overhead:.3}, \
+             \"checks\": {}, \"violations\": {}, \"retries\": {}, \
+             \"retry_rate\": {retry_rate:.6}, \"extra_adc_pct\": {extra_adc_pct:.2}, \
+             \"extra_cell_read_pct\": {:.2}, \"bitwise_deterministic\": true}}",
+            gs.guard.checks,
+            gs.guard.violations,
+            gs.guard.retries,
+            100.0 * extra_reads as f64 / ps.cell_reads as f64,
+        ));
+    }
+
+    let json_path = results_dir().join("BENCH_guard.json");
+    let mut f = std::fs::File::create(&json_path)?;
+    writeln!(
+        f,
+        "{{\"bench\": \"guard\", \"smoke\": {smoke}, \"seed\": {}, \"repeats\": {repeats}, \
+         \"warmup\": 1, \"timing\": \"median over repeats after one warmup execute\", \
+         \"policy\": \"GuardPolicy::standard (z = 6)\", \
+         \"note\": \"single-core host: assertions cover determinism and overhead bounds, not speedup\", \
+         \"accuracy\": {{\"clean\": {:.2}, \"clean_guarded\": {:.2}, \"unguarded\": {:.2}, \
+         \"guarded\": {:.2}, \"fault_rate\": {FAULT_RATE}, \"sigma\": {SIGMA}, \
+         \"gap_recovery_pct\": {recovery_pct:.1}, \
+         \"false_positive_escalation_rate\": {fp_escalation_rate:.6}}}, \
+         \"overhead_sweep\": [{}]}}",
+        cli.seed,
+        clean.accuracy,
+        clean_guarded.accuracy,
+        unguarded.accuracy,
+        guarded.accuracy,
+        sweep_json.join(", ")
+    )?;
+    println!("# wrote {}", json_path.display());
+    Ok(())
+}

@@ -15,7 +15,7 @@ use membit_core::{write_csv, GboConfig};
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
     let fan_ins = exp.model().0.crossbar_fan_ins();
 
     println!("snap-error-aware GBO vs paper-faithful GBO at σ = {sigma}");

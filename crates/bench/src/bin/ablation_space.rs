@@ -14,7 +14,7 @@ use membit_core::{write_csv, GboConfig};
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
     let sigma = cli.f32_opt("--sigma").unwrap_or(15.0);
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
 
     let spaces: [(&str, Vec<f32>); 2] = [
         ("ensemble (coarse)", vec![1.0, 2.0, 3.0]),

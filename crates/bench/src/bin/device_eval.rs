@@ -12,11 +12,11 @@ use membit_bench::{results_dir, Cli};
 use membit_core::{write_csv, DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 use membit_data::Dataset;
 use membit_tensor::{Rng, RngStream, Tensor};
-use membit_xbar::{EnergyModel, XbarConfig};
+use membit_xbar::{EnergyModel, GuardPolicy, XbarConfig};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let exp = membit_bench::setup_experiment(&cli);
+    let exp = membit_bench::setup_experiment(&cli)?;
     let (vgg, params) = exp.model();
     let energy = EnergyModel::representative();
 
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "hardware", "pulses", "Acc %", "tile MVMs", "energy µJ", "latency ms"
     );
     let mut rows = Vec::new();
-    let configs: [(&str, XbarConfig, Vec<usize>); 4] = [
+    let configs: [(&str, XbarConfig, Vec<usize>); 5] = [
         (
             "ideal, baseline p=8",
             XbarConfig::ideal(),
@@ -73,6 +73,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         (
             "realistic (ADC+variation), p=16",
             XbarConfig::realistic(sigma_mean),
+            vec![16; 7],
+        ),
+        (
+            "realistic + checksum guard, p=16",
+            XbarConfig::realistic(sigma_mean).with_guard(GuardPolicy::standard()),
             vec![16; 7],
         ),
     ];
@@ -102,6 +107,15 @@ fn main() -> Result<(), Box<dyn Error>> {
             uj,
             ms
         );
+        if stats.guard.checks > 0 {
+            println!(
+                "    guard: {} checks, {} violations, {} retries, {} degraded layer(s)",
+                stats.guard.checks,
+                stats.guard.violations,
+                stats.guard.retries,
+                stats.guard.degraded_layers
+            );
+        }
         rows.push(vec![
             name.to_string(),
             pulses[0].to_string(),

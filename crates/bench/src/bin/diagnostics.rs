@@ -35,7 +35,7 @@ impl MvmNoiseHook for SaturationProbe {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
     let layers = exp.calibration().layers();
 
     println!("per-layer clean MVM RMS (σ-unit anchors, unit = {}):", exp.config().sigma_unit);

@@ -48,7 +48,7 @@ impl MvmNoiseHook for BitSlicingNoise {
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
     let repeats = exp.config().eval_repeats;
     let batch = exp.config().eval_batch;
 

@@ -8,7 +8,7 @@ use membit_core::{layer_sensitivity, write_csv};
 
 fn main() -> Result<(), Box<dyn Error>> {
     let cli = Cli::parse();
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
     let clean = exp.eval_clean()?;
     println!("clean accuracy: {clean:.2}%");
     println!();

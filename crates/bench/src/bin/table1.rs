@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         Some(g) => vec![g],
         None => vec![5e-3, 2e-3, 8e-4, 3e-4, 1e-4],
     };
-    let mut exp = membit_bench::setup_experiment(&cli);
+    let mut exp = membit_bench::setup_experiment(&cli)?;
     let layers = 7usize;
 
     let clean = exp.eval_clean()?;

@@ -69,7 +69,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         None => vec![2e-3, 8e-4, 3e-4, 1e-4],
     };
     let sigmas = [10.0f32, 15.0, 20.0];
-    let exp = membit_bench::setup_experiment(&cli);
+    let exp = membit_bench::setup_experiment(&cli)?;
     let layers = 7usize;
 
     let mut rows: Vec<Table2Row> = vec![

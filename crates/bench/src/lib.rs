@@ -177,11 +177,12 @@ pub fn experiment_config(scale: Scale, seed: u64) -> ExperimentConfig {
 
 /// Sets up (or loads) the shared pre-trained experiment, reporting timing.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on training/IO errors — bench binaries are user-facing tools
-/// where failing loudly is correct.
-pub fn setup_experiment(cli: &Cli) -> Experiment {
+/// Propagates training/IO errors (e.g. an unwritable results
+/// directory) so binaries report `Error: ...` and exit 1 instead of
+/// panicking.
+pub fn setup_experiment(cli: &Cli) -> membit_core::Result<Experiment> {
     let mut cfg = experiment_config(cli.scale, cli.seed);
     cfg.resume = cli.resume;
     let cached = cfg
@@ -199,9 +200,9 @@ pub fn setup_experiment(cli: &Cli) -> Experiment {
         );
     }
     let t = std::time::Instant::now();
-    let exp = Experiment::setup(cfg).expect("experiment setup failed");
+    let exp = Experiment::setup(cfg)?;
     println!("# setup took {:.1}s", t.elapsed().as_secs_f32());
-    exp
+    Ok(exp)
 }
 
 /// The GBO search epochs appropriate for a scale.

@@ -15,7 +15,8 @@ use membit_encoding::BitEncoder;
 use membit_nn::{Params, Vgg};
 use membit_tensor::{im2col_into, Conv2dGeometry, Rng, Tensor, TensorError};
 use membit_xbar::{
-    CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy, RemapReport, XbarConfig,
+    CellSide, CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy,
+    RemapReport, XbarConfig,
 };
 
 use crate::Result;
@@ -112,9 +113,6 @@ pub struct DeviceVgg {
     feature_dim: usize,
     act_levels: usize,
     num_classes: usize,
-    /// Aggregated recovery outcome across all crossbar engines (zeroed
-    /// when no recovery policy was configured).
-    recovery: RemapReport,
     monitor: Option<HealthMonitor>,
     /// Inference vectors seen since the last health check.
     vectors_since_check: u64,
@@ -153,7 +151,6 @@ impl DeviceVgg {
         }
         let (mut h, mut w) = (config.in_h, config.in_w);
         let mut in_ch = config.in_channels;
-        let mut recovery = RemapReport::default();
         let mut convs = Vec::with_capacity(config.channels.len());
         for (i, conv) in vgg.convs().iter().enumerate() {
             let oc = conv.out_channels();
@@ -169,7 +166,7 @@ impl DeviceVgg {
             } else {
                 let mut engine = CrossbarLinear::program(&wmat, &cfg.xbar, rng)?;
                 if let Some(policy) = &cfg.policy.recovery {
-                    recovery.merge(&engine.remap(policy, rng)?);
+                    engine.remap(policy, rng)?; // report stays on the engine
                 }
                 ConvKernel::Crossbar {
                     engine: Box::new(engine),
@@ -193,7 +190,7 @@ impl DeviceVgg {
         let fc_w = vgg.fc_hidden().deployed_weight(params);
         let mut fc_engine = CrossbarLinear::program(&fc_w, &cfg.xbar, rng)?;
         if let Some(policy) = &cfg.policy.recovery {
-            recovery.merge(&fc_engine.remap(policy, rng)?);
+            fc_engine.remap(policy, rng)?;
         }
         let (fc_scale, fc_shift) = vgg.fc_bn().fold_eval(params);
         let classifier_w = vgg.classifier().deployed_weight(params);
@@ -213,7 +210,6 @@ impl DeviceVgg {
             feature_dim: config.feature_dim(),
             act_levels: cfg.act_levels,
             num_classes: config.num_classes,
-            recovery,
             monitor: cfg.policy.monitor,
             vectors_since_check: 0,
             refreshes: 0,
@@ -223,17 +219,25 @@ impl DeviceVgg {
     /// Runs one batch (`[N, C, H, W]`), returning logits and accumulated
     /// hardware event counts.
     ///
+    /// Every crossbar MVM goes through
+    /// [`CrossbarLinear::execute_guarded`]: on deployments whose
+    /// [`XbarConfig`] carries a [`membit_xbar::GuardPolicy`] the checksum
+    /// guard and its escalation ladder run per layer (`&mut self` exists
+    /// for the ladder's refresh/remap repairs); without one this is the
+    /// plain execution path, bit for bit.
+    ///
     /// # Errors
     ///
     /// Propagates shape errors.
-    pub fn forward(&self, images: &Tensor, rng: &mut Rng) -> Result<(Tensor, ExecutionStats)> {
+    pub fn forward(&mut self, images: &Tensor, rng: &mut Rng) -> Result<(Tensor, ExecutionStats)> {
         let mut stats = ExecutionStats::default();
         let n = images.shape()[0];
         let mut act = images.clone();
         // one column buffer reused across every conv layer of the batch
         // (sized by the largest lowering, allocated once per forward)
         let mut col_buf: Vec<f32> = Vec::new();
-        for layer in &self.convs {
+        let act_levels = self.act_levels;
+        for layer in &mut self.convs {
             let (oh, ow) = (layer.geom.out_h(), layer.geom.out_w());
             im2col_into(&act, &layer.geom, &mut col_buf)?;
             let rows = col_buf.len() / layer.geom.patch_len();
@@ -241,12 +245,12 @@ impl DeviceVgg {
                 std::mem::take(&mut col_buf),
                 &[rows, layer.geom.patch_len()],
             )?;
-            let out_rows = match &layer.kernel {
+            let out_rows = match &mut layer.kernel {
                 ConvKernel::Digital(wmat) => cols.matmul(&wmat.transpose()?)?,
                 ConvKernel::Crossbar { engine, pulses } => {
-                    let enc = PlaThermometer::new(self.act_levels, *pulses)?;
+                    let enc = PlaThermometer::new(act_levels, *pulses)?;
                     let train = enc.encode_tensor(&cols)?;
-                    let (y, s) = engine.execute_with_stats(&train, rng)?;
+                    let (y, s) = engine.execute_guarded(&train, rng)?;
                     stats.merge(&s);
                     y
                 }
@@ -267,7 +271,7 @@ impl DeviceVgg {
         let flat = act.into_reshaped(&[n, self.feature_dim])?;
         let enc = PlaThermometer::new(self.act_levels, self.fc_pulses)?;
         let train = enc.encode_tensor(&flat)?;
-        let (mut f, s) = self.fc_engine.execute_with_stats(&train, rng)?;
+        let (mut f, s) = self.fc_engine.execute_guarded(&train, rng)?;
         stats.merge(&s);
         f = f
             .mul(&self.fc_scale)?
@@ -311,9 +315,15 @@ impl DeviceVgg {
             self.vectors_since_check += images.shape()[0] as u64;
             self.health_check(rng);
         }
-        stats.unrecoverable_cells = self.recovery.unrecoverable_cells;
-        stats.degraded_tiles = self.recovery.degraded_tiles;
+        let recovery = self.recovery_report();
+        stats.unrecoverable_cells = recovery.unrecoverable_cells;
+        stats.degraded_tiles = recovery.degraded_tiles;
         stats.refreshes = self.refreshes - refreshes_before;
+        // deployment-level degradation state (set-once like the damage
+        // counters above): how many layers the guard ladder has demoted
+        // to the digital fallback, counted across engines rather than
+        // summed per batch
+        stats.guard.degraded_layers = self.degraded_layers();
         Ok((correct as f32 / data.len().max(1) as f32, stats))
     }
 
@@ -343,10 +353,81 @@ impl DeviceVgg {
         self.refreshes += refreshed;
     }
 
-    /// Aggregated fault-recovery outcome from deployment (all-zero when
-    /// the deployment ran without a recovery policy).
-    pub fn recovery_report(&self) -> &RemapReport {
-        &self.recovery
+    /// Every crossbar engine in deployment order (crossbar convs, then
+    /// the hidden FC). The digital first conv and classifier have no
+    /// engine.
+    fn engines(&self) -> impl Iterator<Item = &CrossbarLinear> {
+        self.convs
+            .iter()
+            .filter_map(|l| match &l.kernel {
+                ConvKernel::Crossbar { engine, .. } => Some(engine.as_ref()),
+                ConvKernel::Digital(_) => None,
+            })
+            .chain(std::iter::once(&self.fc_engine))
+    }
+
+    fn engines_mut(&mut self) -> impl Iterator<Item = &mut CrossbarLinear> {
+        self.convs
+            .iter_mut()
+            .filter_map(|l| match &mut l.kernel {
+                ConvKernel::Crossbar { engine, .. } => Some(engine.as_mut()),
+                ConvKernel::Digital(_) => None,
+            })
+            .chain(std::iter::once(&mut self.fc_engine))
+    }
+
+    /// Aggregated fault-recovery outcome across all crossbar engines,
+    /// computed on demand from their current reports — deploy-time
+    /// remaps, the guard ladder's stage-3 repairs, everything. All-zero
+    /// when no repair has run (or a later
+    /// [`CrossbarLinear::inject_fault`] invalidated the records).
+    pub fn recovery_report(&self) -> RemapReport {
+        let mut report = RemapReport::default();
+        for engine in self.engines() {
+            if let Some(r) = engine.recovery_report() {
+                report.merge(r);
+            }
+        }
+        report
+    }
+
+    /// Number of crossbar layers the guard ladder has demoted to the
+    /// digital fallback path.
+    pub fn degraded_layers(&self) -> u64 {
+        self.engines().filter(|e| e.is_degraded()).count() as u64
+    }
+
+    /// Injects transient stuck-at upsets at the given per-cell `rate`
+    /// across every crossbar engine — the instrumented path for studying
+    /// mid-inference upsets. Each engine receives `round(out·in·rate)`
+    /// upsets at uniform positions, random differential side, and a fair
+    /// stuck-high/stuck-low coin (see [`CrossbarLinear::upset_cell`]:
+    /// conductance excursions, curable by refresh, unlike the pinned
+    /// health of `inject_fault`). Returns the number injected.
+    ///
+    /// Armed checksum references are deliberately left stale (that is
+    /// what makes the damage detectable) and stored recovery reports are
+    /// cleared, mirroring [`CrossbarLinear::inject_fault`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection errors (coordinates are drawn in range, so
+    /// none are expected).
+    pub fn inject_faults(&mut self, rate: f32, rng: &mut Rng) -> Result<u64> {
+        let mut injected = 0u64;
+        for engine in self.engines_mut() {
+            let (out, inp) = engine.dims();
+            let count = ((out * inp) as f32 * rate).round() as usize;
+            for _ in 0..count {
+                let row = rng.below(inp);
+                let col = rng.below(out);
+                let side = if rng.coin(0.5) { CellSide::Pos } else { CellSide::Neg };
+                let high = rng.coin(0.5);
+                engine.upset_cell(row, col, side, high)?;
+                injected += 1;
+            }
+        }
+        Ok(injected)
     }
 
     /// Drift refreshes triggered by the health monitor over this
@@ -449,7 +530,7 @@ mod tests {
             act_levels: 9,
             policy: DeploymentPolicy::default(),
         };
-        let device = DeviceVgg::deploy(&vgg, &params, &cfg, &mut rng).unwrap();
+        let mut device = DeviceVgg::deploy(&vgg, &params, &cfg, &mut rng).unwrap();
         let images = Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 17) as f32 / 8.0 - 1.0).clamp(-1.0, 1.0));
         // functional reference
         let mut tape = Tape::new();
@@ -547,7 +628,7 @@ mod tests {
             policy: DeploymentPolicy::fault_aware(),
         };
         let mut device = DeviceVgg::deploy(&vgg, &params, &cfg, &mut rng).unwrap();
-        let report = *device.recovery_report();
+        let report = device.recovery_report();
         assert!(report.tiles > 0);
         assert!(report.faults_detected > 0, "2% stuck rates must trip the march test");
         assert!(
@@ -595,6 +676,46 @@ mod tests {
         // pass over the same data finds nothing left to refresh
         let (_, stats2) = device.evaluate(&data, 8, &mut rng).unwrap();
         assert_eq!(stats2.refreshes, 0);
+    }
+
+    #[test]
+    fn guarded_deployment_detects_and_repairs_transient_faults() {
+        use membit_xbar::GuardPolicy;
+        let (vgg, params) = tiny_vgg();
+        let mut rng = Rng::from_seed(17);
+        let cfg = DeviceEvalConfig {
+            xbar: XbarConfig::functional(0.05).with_guard(GuardPolicy::standard()),
+            pulses: vec![8, 8, 8],
+            act_levels: 9,
+            policy: DeploymentPolicy::default(),
+        };
+        let mut device = DeviceVgg::deploy(&vgg, &params, &cfg, &mut rng).unwrap();
+        let images = quantize_tensor(
+            &Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 13) as f32 / 6.0 - 1.0).clamp(-1.0, 1.0)),
+            9,
+        );
+        // healthy arrays: the guard checks every readout and stays quiet
+        let (_, clean) = device.forward(&images, &mut rng).unwrap();
+        assert!(clean.guard.checks > 0);
+        assert_eq!(clean.guard.violations, 0, "{:?}", clean.guard);
+        // a mid-inference transient burst must be detected and repaired
+        // by the ladder, and the repair disclosed
+        // 5% on these tiny arrays → a handful of upsets per tile, whose
+        // summed deviation clears the 6σ tolerance on many readouts
+        let injected = device.inject_faults(0.05, &mut rng).unwrap();
+        assert!(injected > 0);
+        let (_, hit) = device.forward(&images, &mut rng).unwrap();
+        assert!(hit.guard.violations > 0, "{:?}", hit.guard);
+        assert!(
+            hit.guard.tile_refreshes + hit.guard.tile_remaps + hit.guard.fallbacks > 0,
+            "{:?}",
+            hit.guard
+        );
+        // upsets are conductance excursions, so the refresh stage cures
+        // them: the next forward must run violation-free on live arrays
+        let (_, after) = device.forward(&images, &mut rng).unwrap();
+        assert_eq!(after.guard.violations, 0, "{:?}", after.guard);
+        assert_eq!(device.degraded_layers(), 0);
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub use hooks::{GaussianMvmNoise, NanFault, NanFaultMode, PlaHook, RmsRecorder, 
 pub use model::CrossbarModel;
 pub use nia::{nia_finetune, nia_finetune_resilient, NiaConfig};
 pub use pipeline::{Experiment, ExperimentConfig};
-pub use report::{markdown_table, write_csv, FaultAblationRow, Table1Row, Table2Row};
+pub use report::{
+    markdown_table, write_csv, FaultAblationRow, GuardAblationRow, Table1Row, Table2Row,
+};
 pub use resilience::ResilienceConfig;
 pub use sensitivity::layer_sensitivity;
 pub use trainer::{

@@ -60,6 +60,98 @@ pub struct FaultAblationRow {
     pub refreshes: u64,
 }
 
+/// One row of the guarded-execution ablation: accuracy and guard
+/// telemetry of a deployment at one transient-fault rate / noise level
+/// under one execution mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardAblationRow {
+    /// Execution mode label (`clean`, `unguarded`, `guarded`).
+    pub mode: String,
+    /// Per-cell transient stuck-fault rate injected mid-inference.
+    pub fault_rate: f32,
+    /// Paper-σ noise level of the deployment.
+    pub sigma: f32,
+    /// Classification accuracy in percent.
+    pub accuracy: f32,
+    /// Checksum comparisons performed.
+    pub checks: u64,
+    /// Checksum violations detected (initial detections + failed
+    /// retries).
+    pub violations: u64,
+    /// Stage-1 pulse re-executions.
+    pub retries: u64,
+    /// Retries whose fresh readout passed.
+    pub retry_successes: u64,
+    /// Stage-2 targeted tile refreshes.
+    pub tile_refreshes: u64,
+    /// Stage-3 march-test + remap repairs.
+    pub tile_remaps: u64,
+    /// Stage-4 digital-fallback demotions.
+    pub fallbacks: u64,
+    /// Layers serving the digital fallback after this run.
+    pub degraded_layers: u64,
+}
+
+impl GuardAblationRow {
+    /// CSV header matching [`GuardAblationRow::to_record`].
+    pub const CSV_HEADER: [&'static str; 12] = [
+        "mode",
+        "fault_rate",
+        "sigma",
+        "accuracy_pct",
+        "checks",
+        "violations",
+        "retries",
+        "retry_successes",
+        "tile_refreshes",
+        "tile_remaps",
+        "fallbacks",
+        "degraded_layers",
+    ];
+
+    /// Renders the row as CSV fields in [`Self::CSV_HEADER`] order.
+    pub fn to_record(&self) -> Vec<String> {
+        vec![
+            self.mode.clone(),
+            format!("{}", self.fault_rate),
+            format!("{}", self.sigma),
+            format!("{:.2}", self.accuracy),
+            self.checks.to_string(),
+            self.violations.to_string(),
+            self.retries.to_string(),
+            self.retry_successes.to_string(),
+            self.tile_refreshes.to_string(),
+            self.tile_remaps.to_string(),
+            self.fallbacks.to_string(),
+            self.degraded_layers.to_string(),
+        ]
+    }
+
+    /// Builds a row from guard telemetry.
+    pub fn from_stats(
+        mode: impl Into<String>,
+        fault_rate: f32,
+        sigma: f32,
+        accuracy: f32,
+        guard: &membit_xbar::GuardStats,
+    ) -> Self {
+        Self {
+            mode: mode.into(),
+            fault_rate,
+            sigma,
+            accuracy,
+            checks: guard.checks,
+            violations: guard.violations,
+            retries: guard.retries,
+            retry_successes: guard.retry_successes,
+            tile_refreshes: guard.tile_refreshes,
+            tile_remaps: guard.tile_remaps,
+            fallbacks: guard.fallbacks,
+            degraded_layers: guard.degraded_layers,
+        }
+    }
+}
+
 impl FaultAblationRow {
     /// CSV header matching [`FaultAblationRow::to_record`].
     pub const CSV_HEADER: [&'static str; 8] = [
@@ -169,6 +261,26 @@ mod tests {
         assert_eq!(rec.len(), FaultAblationRow::CSV_HEADER.len());
         assert_eq!(rec[0], "remap+refresh");
         assert_eq!(rec[2], "71.25");
+    }
+
+    #[test]
+    fn guard_row_record_matches_header() {
+        let guard = membit_xbar::GuardStats {
+            checks: 1000,
+            violations: 12,
+            retries: 24,
+            retry_successes: 6,
+            tile_refreshes: 3,
+            tile_remaps: 2,
+            fallbacks: 1,
+            degraded_layers: 1,
+        };
+        let row = GuardAblationRow::from_stats("guarded", 0.01, 0.1, 68.5, &guard);
+        let rec = row.to_record();
+        assert_eq!(rec.len(), GuardAblationRow::CSV_HEADER.len());
+        assert_eq!(rec[0], "guarded");
+        assert_eq!(rec[4], "1000");
+        assert_eq!(rec[11], "1");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Latency and energy accounting for crossbar executions.
 
+use crate::guard::GuardStats;
+
 /// Raw event counts from executing pulse trains on a
 /// [`CrossbarLinear`](crate::CrossbarLinear).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +26,9 @@ pub struct ExecutionStats {
     /// Drift-refresh re-programming passes triggered by the health
     /// monitor during this run.
     pub refreshes: u64,
+    /// Checksum-guard telemetry: detections, retries, escalations, and
+    /// per-layer degradation state.
+    pub guard: GuardStats,
 }
 
 impl ExecutionStats {
@@ -36,15 +41,22 @@ impl ExecutionStats {
     /// evaluation and identical across the batches being merged, so
     /// summing would multiply the damage by the batch count — the merge
     /// takes the max instead.
+    ///
+    /// Worker-local blocks are folded in whatever order the parallel
+    /// engine's workers finish, so every operation here must be
+    /// commutative and associative — saturating adds and max both are
+    /// (`proptest_stats.rs` pins this), a wrapping or panicking add is
+    /// neither once overflow enters the picture.
     pub fn merge(&mut self, other: &ExecutionStats) {
-        self.vectors += other.vectors;
-        self.pulses += other.pulses;
-        self.tile_mvms += other.tile_mvms;
-        self.adc_conversions += other.adc_conversions;
-        self.cell_reads += other.cell_reads;
+        self.vectors = self.vectors.saturating_add(other.vectors);
+        self.pulses = self.pulses.saturating_add(other.pulses);
+        self.tile_mvms = self.tile_mvms.saturating_add(other.tile_mvms);
+        self.adc_conversions = self.adc_conversions.saturating_add(other.adc_conversions);
+        self.cell_reads = self.cell_reads.saturating_add(other.cell_reads);
         self.unrecoverable_cells = self.unrecoverable_cells.max(other.unrecoverable_cells);
         self.degraded_tiles = self.degraded_tiles.max(other.degraded_tiles);
-        self.refreshes += other.refreshes;
+        self.refreshes = self.refreshes.saturating_add(other.refreshes);
+        self.guard.merge(&other.guard);
     }
 
     /// Average pulses per input vector.
@@ -126,6 +138,12 @@ mod tests {
             unrecoverable_cells: 3,
             degraded_tiles: 1,
             refreshes: 2,
+            guard: GuardStats {
+                checks: 10,
+                violations: 1,
+                degraded_layers: 1,
+                ..Default::default()
+            },
         };
         let b = a;
         a.merge(&b);
@@ -136,6 +154,9 @@ mod tests {
         assert_eq!(a.unrecoverable_cells, 3);
         assert_eq!(a.degraded_tiles, 1);
         assert_eq!(a.refreshes, 4);
+        assert_eq!(a.guard.checks, 20);
+        assert_eq!(a.guard.violations, 2);
+        assert_eq!(a.guard.degraded_layers, 1, "degradation state maxes");
         a.merge(&ExecutionStats {
             unrecoverable_cells: 7,
             ..Default::default()

@@ -6,6 +6,7 @@ use membit_tensor::{Rng, Tensor, TensorError};
 
 use crate::adc::Adc;
 use crate::energy::ExecutionStats;
+use crate::guard::{GuardPolicy, GUARD_STREAM_TAG, RETRY_STREAM_TAG};
 use crate::noise::NoiseSpec;
 use crate::program::{ProgramStats, WriteVerify};
 use crate::remap::{remap_tile, RecoveryPolicy, RemapReport};
@@ -106,6 +107,13 @@ pub struct XbarConfig {
     /// Host-side thread fan-out (simulation speed only — results are
     /// independent of it).
     pub exec: ExecOptions,
+    /// Optional ABFT checksum guard. When set, programming arms every
+    /// tile's checksum column and
+    /// [`CrossbarLinear::execute_guarded`] checks each pulse readout,
+    /// walking the policy's escalation ladder on violations. `None` (the
+    /// default in every preset) leaves execution byte-for-byte identical
+    /// to an unguarded deployment.
+    pub guard: Option<GuardPolicy>,
 }
 
 impl XbarConfig {
@@ -119,6 +127,7 @@ impl XbarConfig {
             noise: NoiseSpec::none(),
             write_verify: None,
             exec: ExecOptions::default(),
+            guard: None,
         }
     }
 
@@ -141,7 +150,14 @@ impl XbarConfig {
             noise: NoiseSpec::realistic(output_sigma),
             write_verify: Some(WriteVerify::standard()),
             exec: ExecOptions::default(),
+            guard: None,
         }
+    }
+
+    /// This configuration with checksum-guarded execution enabled.
+    pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// Validates the full deployment configuration — tile geometry,
@@ -162,6 +178,9 @@ impl XbarConfig {
         }
         if let Some(wv) = &self.write_verify {
             wv.validate()?;
+        }
+        if let Some(guard) = &self.guard {
+            guard.validate()?;
         }
         self.exec.validate()?;
         self.noise.validate()
@@ -189,6 +208,9 @@ pub struct CrossbarLinear {
     config: XbarConfig,
     program_stats: ProgramStats,
     recovery: Option<RemapReport>,
+    /// Set when the guard's escalation ladder ran out of hardware
+    /// remedies: this layer permanently serves the digital fallback.
+    degraded: bool,
 }
 
 impl CrossbarLinear {
@@ -254,12 +276,18 @@ impl CrossbarLinear {
             let rows = config.tile_rows.min(in_features - r0);
             let mut row_tiles = Vec::with_capacity(nct);
             for _ in &col_starts {
-                let (tile, stats) = slots
+                let (mut tile, stats) = slots
                     .next()
                     .flatten()
                     .expect("program fan-out filled every slot")?;
                 if config.write_verify.is_some() {
                     program_stats.merge(&stats);
+                }
+                if config.guard.is_some() {
+                    // snapshot the as-programmed state as the ABFT
+                    // reference — guarded execution compares every pulse
+                    // readout against it
+                    tile.arm_guard();
                 }
                 row_tiles.push(tile);
             }
@@ -279,6 +307,7 @@ impl CrossbarLinear {
             config: *config,
             program_stats,
             recovery: None,
+            degraded: false,
         })
     }
 
@@ -327,6 +356,158 @@ impl CrossbarLinear {
         train: &PulseTrain,
         rng: &mut Rng,
     ) -> Result<(Tensor, ExecutionStats)> {
+        self.execute_internal(train, rng).map(|(y, stats, _)| (y, stats))
+    }
+
+    /// Checksum-guarded execution: like
+    /// [`execute_with_stats`](Self::execute_with_stats), plus the full
+    /// escalation ladder of the configured [`GuardPolicy`].
+    ///
+    /// Detection and stage-1 retries run inside the (pure, parallel)
+    /// workers; when a tile's violation survives its retry budget, the
+    /// serial ladder takes over: targeted [`Tile::refresh`] of the
+    /// offending tiles, then march-test + [`remap_tile`] (re-arming the
+    /// repaired tiles' checksums and folding the damage into this
+    /// engine's [`RemapReport`]), then — budgets exhausted — the layer is
+    /// marked degraded and this and every later call serve the digital
+    /// `x·Wᵀ` reference output.
+    ///
+    /// Without a configured guard this is exactly
+    /// [`execute_with_stats`](Self::execute_with_stats). Results stay
+    /// bitwise deterministic across thread counts: retry and checksum
+    /// noise comes from substreams keyed by
+    /// `(pulse, sample, tile, stream-tag, attempt)`, and ladder decisions
+    /// depend only on per-tile violation counts, which merge
+    /// order-independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the train's vectors don't match
+    /// `in_features`; propagates remap policy validation errors.
+    pub fn execute_guarded(
+        &mut self,
+        train: &PulseTrain,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, ExecutionStats)> {
+        let Some(policy) = self.config.guard else {
+            return self.execute_with_stats(train, rng);
+        };
+        let mut total = ExecutionStats::default();
+        if self.degraded {
+            return self.fallback_execute(train, total);
+        }
+        let nct = self.col_starts.len();
+        let mut refresh_rounds = 0u32;
+        let mut remap_rounds = 0u32;
+        loop {
+            let (y, stats, viol) = self.execute_internal(train, rng)?;
+            total.merge(&stats);
+            let offending: Vec<usize> = viol
+                .iter()
+                .enumerate()
+                .filter_map(|(idx, &v)| (v > 0).then_some(idx))
+                .collect();
+            if offending.is_empty() {
+                return Ok((y, total));
+            }
+            if refresh_rounds < policy.refresh_rounds {
+                // stage 2: re-program the offending tiles toward their
+                // stored targets. Cures drift; the armed reference is
+                // deliberately kept, so persistent faults keep violating
+                // and escalate further.
+                refresh_rounds += 1;
+                let mut pstats = ProgramStats::default();
+                let wv = self.config.write_verify;
+                for &idx in &offending {
+                    self.tiles[idx / nct][idx % nct].refresh(wv.as_ref(), rng, &mut pstats);
+                    total.guard.tile_refreshes = total.guard.tile_refreshes.saturating_add(1);
+                }
+                continue;
+            }
+            if remap_rounds < policy.remap_rounds {
+                // stage 3: commanded, verified repair — march-test +
+                // remap the offending tiles, then re-arm their checksums
+                // so the repaired state (residual damage included, which
+                // the merged RemapReport discloses) becomes the new
+                // reference.
+                remap_rounds += 1;
+                let mut report = RemapReport::default();
+                for &idx in &offending {
+                    let tile = &mut self.tiles[idx / nct][idx % nct];
+                    report.merge(&remap_tile(tile, &policy.remap, rng)?);
+                    tile.arm_guard();
+                    total.guard.tile_remaps = total.guard.tile_remaps.saturating_add(1);
+                }
+                match &mut self.recovery {
+                    Some(r) => r.merge(&report),
+                    None => self.recovery = Some(report),
+                }
+                continue;
+            }
+            // stage 4: out of hardware remedies
+            self.degraded = true;
+            return self.fallback_execute(train, total);
+        }
+    }
+
+    /// Whether the guard has demoted this layer to the digital fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The digital reference path: decodes the train and multiplies by
+    /// the stored logical weights — the noise-free output the analog
+    /// array is supposed to approximate.
+    fn fallback_execute(
+        &self,
+        train: &PulseTrain,
+        mut total: ExecutionStats,
+    ) -> Result<(Tensor, ExecutionStats)> {
+        let shape = train.shape();
+        if shape.len() != 2 || shape[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                op: "crossbar execute",
+                lhs: shape.to_vec(),
+                rhs: vec![shape.first().copied().unwrap_or(0), self.in_features],
+            });
+        }
+        let x = train.decode()?;
+        let y = x.matmul(&self.logical_matrix().transpose()?)?;
+        // analog rounds (if any) already charged their vectors; a
+        // short-circuited call still reports the batch it served
+        total.vectors = total.vectors.max(shape[0] as u64);
+        total.guard.fallbacks = total.guard.fallbacks.saturating_add(1);
+        total.guard.degraded_layers = total.guard.degraded_layers.max(1);
+        Ok((y, total))
+    }
+
+    /// Reassembles the logical `[out, in]` ±1 weight matrix from the tile
+    /// grid (tiles store the transpose: wordline-major).
+    fn logical_matrix(&self) -> Tensor {
+        let mut w = Tensor::zeros(&[self.out_features, self.in_features]);
+        for (ri, &r0) in self.row_starts.iter().enumerate() {
+            for (ci, &c0) in self.col_starts.iter().enumerate() {
+                let tile = &self.tiles[ri][ci];
+                let (trows, tcols) = tile.dims();
+                for i in 0..trows {
+                    for j in 0..tcols {
+                        w.set(&[c0 + j, r0 + i], tile.logical_weight(i, j));
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Shared execution core: runs the pulse schedule and returns the
+    /// decoded outputs, the event stats, and — when a guard is armed —
+    /// the per-tile count of checksum violations that survived their
+    /// retry budget (indexed `row_tile·num_col_tiles + col_tile`).
+    fn execute_internal(
+        &self,
+        train: &PulseTrain,
+        rng: &mut Rng,
+    ) -> Result<(Tensor, ExecutionStats, Vec<u64>)> {
         let shape = train.shape();
         if shape.len() != 2 || shape[1] != self.in_features {
             return Err(TensorError::ShapeMismatch {
@@ -336,13 +517,15 @@ impl CrossbarLinear {
             });
         }
         let n = shape[0];
+        let ntiles = self.row_starts.len() * self.col_starts.len();
         let mut acc = Tensor::zeros(&[n, self.out_features]);
         let mut stats = ExecutionStats {
             vectors: n as u64,
             ..Default::default()
         };
+        let mut viol = vec![0u64; ntiles];
         if n == 0 || self.out_features == 0 {
-            return Ok((acc, stats));
+            return Ok((acc, stats, viol));
         }
 
         // One nonce per execution keys a fresh family of noise
@@ -354,16 +537,102 @@ impl CrossbarLinear {
         let exec = self.config.exec;
         let threads = plan_threads(n, exec.max_threads, exec.samples_per_thread);
         let block = n.div_ceil(threads);
-        let worker_stats = scoped_chunks(
+        let worker_out = scoped_chunks(
             acc.as_mut_slice(),
             block * self.out_features,
-            |start, ablock| self.execute_block(train, &base, start / self.out_features, ablock),
+            |start, ablock| {
+                let mut wviol = vec![0u64; ntiles];
+                let ws =
+                    self.execute_block(train, &base, start / self.out_features, ablock, &mut wviol);
+                ws.map(|s| (s, wviol))
+            },
         );
-        for ws in worker_stats {
-            stats.merge(&ws?);
+        for wo in worker_out {
+            let (ws, wviol) = wo?;
+            stats.merge(&ws);
+            for (v, wv) in viol.iter_mut().zip(&wviol) {
+                *v = v.saturating_add(*wv);
+            }
         }
         let y = acc.mul_scalar(1.0 / train.weight_norm());
-        Ok((y, stats))
+        Ok((y, stats, viol))
+    }
+
+    /// Checks one digitized pulse readout (`out`, already sign-corrected
+    /// and ADC-converted) against tile's checksum column, re-executing
+    /// the pulse with fresh keyed noise up to the policy's retry budget
+    /// on violation. A passing retry replaces `out`. Returns whether the
+    /// final accepted readout passed; the caller records a persistent
+    /// violation otherwise.
+    // hot per-readout check: slices + layout scalars beat a params
+    // struct rebuilt per pulse per sample per tile
+    #[allow(clippy::too_many_arguments)]
+    fn guard_readout(
+        &self,
+        policy: &GuardPolicy,
+        tile: &Tile,
+        ri: usize,
+        x: &[f32],
+        key: [u64; 4],
+        base: &Rng,
+        out: &mut [f32],
+        retry_buf: &mut [f32],
+        stats: &mut ExecutionStats,
+    ) -> Result<bool> {
+        let noise = &self.config.noise;
+        let adc = self.adcs[ri].as_ref();
+        let step = adc.map(Adc::step);
+        let (trows, tcols) = tile.dims();
+        for attempt in 0..=u64::from(policy.max_retries) {
+            if attempt > 0 {
+                // stage 1: re-drive the pulse with fresh noise from a
+                // dedicated retry substream — a transient glitch won't
+                // repeat, a persistent fault will
+                stats.guard.retries = stats.guard.retries.saturating_add(1);
+                let mut rng = base
+                    .substream(&key)
+                    .substream(&[RETRY_STREAM_TAG, attempt]);
+                tile.mvm_with(x, noise, &mut rng, retry_buf, self.config.exec.kernel)?;
+                if let Some(a) = adc {
+                    a.convert_slice(retry_buf);
+                    stats.adc_conversions += tcols as u64;
+                }
+                stats.tile_mvms += 1;
+                stats.cell_reads += (trows * tcols) as u64;
+            }
+            // each attempt reads the checksum column afresh, from its own
+            // keyed substream: arming a guard never perturbs the MVM
+            // noise sequence
+            let mut grng = base
+                .substream(&key)
+                .substream(&[GUARD_STREAM_TAG, attempt]);
+            let (mut chk, var) = tile
+                .checksum_pulse(x, noise, &mut grng)
+                .expect("guard_readout requires an armed tile");
+            if let Some(s) = step {
+                // the checksum column needs a wider conversion range than
+                // a regular column (it carries the whole tile's sum), so
+                // model a dedicated converter with the same step and
+                // enough range: quantization error, but no clipping
+                chk = (chk / s).round() * s;
+            }
+            stats.guard.checks = stats.guard.checks.saturating_add(1);
+            stats.cell_reads += trows as u64; // one extra column read
+            if adc.is_some() {
+                stats.adc_conversions += 1;
+            }
+            let readout: &[f32] = if attempt == 0 { out } else { retry_buf };
+            let sum: f32 = readout.iter().sum();
+            if (sum - chk).abs() <= policy.tolerance(noise, tcols, var, step) {
+                if attempt > 0 {
+                    out.copy_from_slice(retry_buf);
+                    stats.guard.retry_successes = stats.guard.retry_successes.saturating_add(1);
+                }
+                return Ok(true);
+            }
+            stats.guard.violations = stats.guard.violations.saturating_add(1);
+        }
+        Ok(false)
     }
 
     /// Executes every pulse for the contiguous sample block starting at
@@ -375,19 +644,24 @@ impl CrossbarLinear {
     /// independent of how samples are grouped into blocks — and every
     /// tile MVM draws from `base.substream(&[pulse, sample, row_tile,
     /// col_tile])`, so results are bitwise identical for any split.
+    /// Unresolved checksum violations (guarded deployments only) are
+    /// added to `viol` per tile.
     fn execute_block(
         &self,
         train: &PulseTrain,
         base: &Rng,
         s0: usize,
         ablock: &mut [f32],
+        viol: &mut [u64],
     ) -> Result<ExecutionStats> {
         if self.config.exec.kernel == MvmKernel::Cached && train.kind() == TrainKind::NestedUnary {
-            return self.execute_block_delta(train, base, s0, ablock);
+            return self.execute_block_delta(train, base, s0, ablock, viol);
         }
         let nb = ablock.len() / self.out_features;
+        let nct = self.col_starts.len();
         let mut stats = ExecutionStats::default();
         let mut out_buf = vec![0.0f32; nb * self.config.tile_cols];
+        let mut retry_buf = vec![0.0f32; self.config.tile_cols];
         let mut rngs: Vec<Rng> = Vec::with_capacity(nb);
         for (pi, (pulse_weight, pulse)) in train.iter().enumerate() {
             let px = pulse.as_slice();
@@ -416,6 +690,28 @@ impl CrossbarLinear {
                     if let Some(adc) = &self.adcs[ri] {
                         adc.convert_slice(out);
                         stats.adc_conversions += (nb * tcols) as u64;
+                    }
+                    if let Some(policy) = &self.config.guard {
+                        if tile.guard_armed() {
+                            for s in 0..nb {
+                                let xoff = s * self.in_features + r0;
+                                let x = &xs[xoff..xoff + trows];
+                                let passed = self.guard_readout(
+                                    policy,
+                                    tile,
+                                    ri,
+                                    x,
+                                    [pi as u64, (s0 + s) as u64, ri as u64, ci as u64],
+                                    base,
+                                    &mut out[s * tcols..(s + 1) * tcols],
+                                    &mut retry_buf[..tcols],
+                                    &mut stats,
+                                )?;
+                                if !passed {
+                                    viol[ri * nct + ci] = viol[ri * nct + ci].saturating_add(1);
+                                }
+                            }
+                        }
                     }
                     for (orow, arow) in out
                         .chunks_exact(tcols)
@@ -452,9 +748,11 @@ impl CrossbarLinear {
         base: &Rng,
         s0: usize,
         ablock: &mut [f32],
+        viol: &mut [u64],
     ) -> Result<ExecutionStats> {
         let nb = ablock.len() / self.out_features;
         let np = train.num_pulses();
+        let nct = self.col_starts.len();
         let pulses = train.pulses();
         let mut stats = ExecutionStats {
             pulses: (np * nb) as u64,
@@ -462,10 +760,15 @@ impl CrossbarLinear {
         };
         let mut acc_buf = vec![0.0f32; self.config.tile_cols];
         let mut out_buf = vec![0.0f32; self.config.tile_cols];
+        let mut retry_buf = vec![0.0f32; self.config.tile_cols];
         for (ri, &r0) in self.row_starts.iter().enumerate() {
             for (ci, &c0) in self.col_starts.iter().enumerate() {
                 let tile = &self.tiles[ri][ci];
                 let (trows, tcols) = tile.dims();
+                let guard = match &self.config.guard {
+                    Some(policy) if tile.guard_armed() => Some(policy),
+                    _ => None,
+                };
                 let acc = &mut acc_buf[..tcols];
                 let out = &mut out_buf[..tcols];
                 for s in 0..nb {
@@ -486,6 +789,26 @@ impl CrossbarLinear {
                         tile.finish_pulse(acc, &self.config.noise, &mut rng, out);
                         if let Some(adc) = &self.adcs[ri] {
                             adc.convert_slice(out);
+                        }
+                        if let Some(policy) = guard {
+                            // a passing retry replaces the readout but not
+                            // the running accumulator: the delta schedule
+                            // tracks the noise-free pre-sign state, which
+                            // a re-driven pulse does not change
+                            let passed = self.guard_readout(
+                                policy,
+                                tile,
+                                ri,
+                                x_at(pi),
+                                [pi as u64, sample as u64, ri as u64, ci as u64],
+                                base,
+                                out,
+                                &mut retry_buf[..tcols],
+                                &mut stats,
+                            )?;
+                            if !passed {
+                                viol[ri * nct + ci] = viol[ri * nct + ci].saturating_add(1);
+                            }
                         }
                         // unit pulse weights by the nested-unary invariant
                         for (a, &v) in ablock[arow_start..arow_start + tcols]
@@ -521,24 +844,101 @@ impl CrossbarLinear {
     /// storing and returning the aggregated [`RemapReport`]. Repeated
     /// calls (e.g. after further aging) replace the stored report.
     ///
+    /// On guarded deployments every tile's checksum column is re-armed
+    /// afterwards: remap is commanded, *verified* repair, so the repaired
+    /// state becomes the new ABFT reference (residual damage stays
+    /// disclosed in the report).
+    ///
     /// # Errors
     ///
     /// Propagates policy validation errors.
     pub fn remap(&mut self, policy: &RecoveryPolicy, rng: &mut Rng) -> Result<RemapReport> {
         let mut report = RemapReport::default();
+        let rearm = self.config.guard.is_some();
         for row in &mut self.tiles {
             for tile in row {
                 report.merge(&remap_tile(tile, policy, rng)?);
+                if rearm {
+                    tile.arm_guard();
+                }
             }
         }
         self.recovery = Some(report);
         Ok(report)
     }
 
-    /// The report from the most recent [`remap`](Self::remap) call, if
-    /// any.
+    /// The report from the most recent repair activity — an explicit
+    /// [`remap`](Self::remap) call or the guard ladder's stage-3 remaps —
+    /// if any. Cleared by [`inject_fault`](Self::inject_fault): a
+    /// mutation after repair invalidates the recorded outcome.
     pub fn recovery_report(&self) -> Option<&RemapReport> {
         self.recovery.as_ref()
+    }
+
+    /// Pins one cell of the differential pair at logical position
+    /// (`in_row`, `out_col`) to `health` (see [`Tile::inject_fault`]) —
+    /// the instrumented path for studying transient faults that appear
+    /// mid-inference.
+    ///
+    /// Any stored [`RemapReport`] is cleared: its recovery claims predate
+    /// the mutation and no longer describe the array, so keeping it would
+    /// let telemetry report a recovery this fault just invalidated. The
+    /// armed checksum reference is deliberately *not* touched — the
+    /// resulting staleness is what makes the fault detectable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for out-of-range
+    /// coordinates.
+    pub fn inject_fault(
+        &mut self,
+        in_row: usize,
+        out_col: usize,
+        side: crate::CellSide,
+        health: crate::CellHealth,
+    ) -> Result<()> {
+        if in_row >= self.in_features || out_col >= self.out_features {
+            return Err(TensorError::InvalidArgument(format!(
+                "inject_fault ({in_row}, {out_col}) out of range for {}×{}",
+                self.in_features, self.out_features
+            )));
+        }
+        let (ri, r) = (in_row / self.config.tile_rows, in_row % self.config.tile_rows);
+        let (ci, c) = (out_col / self.config.tile_cols, out_col % self.config.tile_cols);
+        self.tiles[ri][ci].inject_fault(r, c, side, health)?;
+        self.recovery = None;
+        Ok(())
+    }
+
+    /// Transient counterpart of [`inject_fault`](Self::inject_fault):
+    /// forces the conductance of the cell backing logical weight
+    /// (`in_row`, `out_col`) onto a rail without pinning its health (see
+    /// [`Tile::upset_cell`]), so a guard-triggered refresh cures it. The
+    /// stored [`RemapReport`] is cleared and the armed checksum reference
+    /// is deliberately left stale, exactly as for persistent injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for out-of-range
+    /// coordinates.
+    pub fn upset_cell(
+        &mut self,
+        in_row: usize,
+        out_col: usize,
+        side: crate::CellSide,
+        high: bool,
+    ) -> Result<()> {
+        if in_row >= self.in_features || out_col >= self.out_features {
+            return Err(TensorError::InvalidArgument(format!(
+                "upset_cell ({in_row}, {out_col}) out of range for {}×{}",
+                self.in_features, self.out_features
+            )));
+        }
+        let (ri, r) = (in_row / self.config.tile_rows, in_row % self.config.tile_rows);
+        let (ci, c) = (out_col / self.config.tile_cols, out_col % self.config.tile_cols);
+        self.tiles[ri][ci].upset_cell(r, c, side, high)?;
+        self.recovery = None;
+        Ok(())
     }
 
     /// Drift refresh: re-programs every tile's cells toward their stored
@@ -594,6 +994,7 @@ impl CrossbarLinear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CellHealth, CellSide};
     use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
 
     fn random_pm1(shape: &[usize], seed: u64) -> Tensor {
@@ -928,5 +1329,210 @@ mod tests {
         assert!(
             CrossbarLinear::program(&Tensor::zeros(&[2, 2]), &cfg, &mut rng).is_err()
         );
+        let mut cfg = XbarConfig::ideal().with_guard(crate::GuardPolicy::standard());
+        cfg.guard.as_mut().unwrap().z = -1.0;
+        assert!(
+            CrossbarLinear::program(&Tensor::zeros(&[2, 2]), &cfg, &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn guard_is_silent_on_a_healthy_array() {
+        // guarded and unguarded execution must agree BITWISE on clean
+        // hardware: checksum noise comes from dedicated substreams, so
+        // arming the guard cannot perturb the MVM noise sequence
+        let mut cfg = XbarConfig::functional(0.1);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        let w = random_pm1(&[12, 30], 50);
+        let x = random_pm1(&[3, 30], 51);
+        let train = Thermometer::new(6).unwrap().encode_tensor(&x).unwrap();
+
+        let mut rng_plain = Rng::from_seed(52);
+        let plain = CrossbarLinear::program(&w, &cfg, &mut rng_plain).unwrap();
+        let (y_plain, s_plain) = plain.execute_with_stats(&train, &mut rng_plain).unwrap();
+
+        let mut rng_guarded = Rng::from_seed(52);
+        let mut guarded =
+            CrossbarLinear::program(&w, &cfg.with_guard(crate::GuardPolicy::standard()), &mut rng_guarded)
+                .unwrap();
+        let (y_guarded, s_guarded) = guarded.execute_guarded(&train, &mut rng_guarded).unwrap();
+
+        assert_eq!(y_plain.as_slice(), y_guarded.as_slice());
+        assert!(s_guarded.guard.checks > 0);
+        assert_eq!(s_guarded.guard.violations, 0, "clean array must not trip 6σ");
+        assert_eq!(s_guarded.guard.retries, 0);
+        assert_eq!(s_guarded.guard.degraded_layers, 0);
+        assert!(!guarded.is_degraded());
+        // everything but the guard's own bookkeeping matches
+        assert_eq!(s_plain.pulses, s_guarded.pulses);
+        assert_eq!(s_plain.tile_mvms, s_guarded.tile_mvms);
+    }
+
+    #[test]
+    fn guard_ladder_remaps_injected_faults_and_recovers() {
+        // σ = 0.05 keeps the 6σ tolerance (≈1.3 for 16-col tiles) well
+        // under the ~±1-per-fault checksum deviations of the burst below
+        let mut cfg = XbarConfig::functional(0.05).with_guard(crate::GuardPolicy::standard());
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 16;
+        cfg.noise.device.on_off_ratio = 20.0;
+        let w = random_pm1(&[16, 32], 53);
+        let x = random_pm1(&[4, 32], 54);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+
+        let mut rng = Rng::from_seed(55);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        // a burst of stuck cells appearing after deployment: each flips
+        // an ON cell fully off, shifting its column by ~1 per pulse
+        for k in 0..12 {
+            xbar.inject_fault(2 * k + 1, k, CellSide::Pos, CellHealth::StuckOff)
+                .unwrap();
+        }
+        let (y, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.violations > 0, "stale checksums must trip");
+        assert!(
+            stats.guard.tile_remaps > 0,
+            "persistent faults must escalate past retry/refresh: {:?}",
+            stats.guard
+        );
+        assert!(!xbar.is_degraded(), "remap should repair this fixture");
+        assert!(
+            xbar.recovery_report().is_some(),
+            "ladder remaps must be disclosed"
+        );
+        // residual damage the remap could not repair (disclosed in the
+        // report) may leave ~1 logical weight of error on a column; the
+        // pre-repair burst was 12 weights deep
+        let err = y.sub(&expect).unwrap().abs().max();
+        assert!(err < 2.0, "post-remap output should be sane: {err}");
+        // the repaired, re-armed array is quiet afterwards
+        let (_, s2) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert_eq!(s2.guard.violations, 0, "{:?}", s2.guard);
+    }
+
+    #[test]
+    fn guard_refresh_cures_transient_upsets_without_remap() {
+        let mut cfg = XbarConfig::functional(0.02).with_guard(crate::GuardPolicy::standard());
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        let w = random_pm1(&[12, 16], 91);
+        let x = random_pm1(&[4, 16], 92);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+
+        let mut rng = Rng::from_seed(93);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        // rail excursions, not pinned faults: stage 2 (refresh) must cure
+        // them and the ladder must never escalate to remap or fallback
+        for k in 0..6 {
+            xbar.upset_cell(k, (2 * k + 1) % 12, CellSide::Pos, k % 2 == 0)
+                .unwrap();
+        }
+        let (y, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.violations > 0, "{:?}", stats.guard);
+        assert!(stats.guard.tile_refreshes > 0, "{:?}", stats.guard);
+        assert_eq!(stats.guard.tile_remaps, 0, "{:?}", stats.guard);
+        assert_eq!(stats.guard.fallbacks, 0, "{:?}", stats.guard);
+        assert!(!xbar.is_degraded());
+        // refresh reprograms the exact stored targets (ideal device), so
+        // the accepted output tracks the ideal product within noise
+        let err = y.sub(&expect).unwrap().abs().max();
+        assert!(err < 1.0, "post-refresh output should be clean: {err}");
+        // and the original armed reference holds again
+        let (_, s2) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert_eq!(s2.guard.violations, 0, "{:?}", s2.guard);
+        assert!(xbar.recovery_report().is_none(), "no remap took place");
+    }
+
+    #[test]
+    fn guard_degrades_to_digital_fallback_when_budgets_exhausted() {
+        // detect_only: no refresh/remap budget, so a persistent fault
+        // burst goes straight to the digital fallback (σ = 0.05 keeps the
+        // 6σ tolerance ≈0.95 below the burst's checksum deviations)
+        let mut cfg = XbarConfig::functional(0.05).with_guard(crate::GuardPolicy::detect_only());
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        let w = random_pm1(&[8, 16], 56);
+        let x = random_pm1(&[2, 16], 57);
+        let train = Thermometer::new(6).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+
+        let mut rng = Rng::from_seed(58);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        for k in 0..6 {
+            xbar.inject_fault(2 * k, k, CellSide::Pos, CellHealth::StuckOff)
+                .unwrap();
+            xbar.inject_fault(2 * k + 1, (k + 3) % 8, CellSide::Neg, CellHealth::StuckOn)
+                .unwrap();
+        }
+        let (y, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.violations > 0);
+        assert_eq!(stats.guard.fallbacks, 1);
+        assert_eq!(stats.guard.degraded_layers, 1);
+        assert!(xbar.is_degraded());
+        // the fallback is the exact digital reference
+        assert!(y.allclose(&expect, 1e-4), "{y:?} vs {expect:?}");
+        // later calls short-circuit: no analog work, still correct
+        let (y2, s2) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(y2.allclose(&expect, 1e-4));
+        assert_eq!(s2.tile_mvms, 0);
+        assert_eq!(s2.guard.fallbacks, 1);
+        assert_eq!(s2.vectors, 2);
+    }
+
+    #[test]
+    fn guard_retry_absorbs_transient_outlier_noise() {
+        // loosen z until ordinary noise trips the detector somewhere in
+        // the run, then verify retries absorb it without escalating to
+        // hardware repair on a healthy array
+        let mut policy = crate::GuardPolicy::standard();
+        policy.z = 2.0; // ~4.6% tail per check
+        policy.min_tolerance = 0.0;
+        policy.max_retries = 8;
+        policy.refresh_rounds = 0;
+        policy.remap_rounds = 0;
+        let mut cfg = XbarConfig::functional(0.4).with_guard(policy);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        let w = random_pm1(&[8, 16], 59);
+        let x = random_pm1(&[16, 16], 60);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let mut rng = Rng::from_seed(61);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        let (_, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.violations > 0, "z=2 must trip on noise somewhere");
+        assert!(stats.guard.retries > 0);
+        assert!(
+            stats.guard.retry_successes > 0,
+            "fresh noise should pass: {:?}",
+            stats.guard
+        );
+        assert_eq!(stats.guard.tile_refreshes, 0);
+        assert_eq!(stats.guard.tile_remaps, 0);
+        assert_eq!(stats.guard.fallbacks, 0, "{:?}", stats.guard);
+        assert!(!xbar.is_degraded());
+    }
+
+    #[test]
+    fn inject_fault_clears_stale_recovery_report() {
+        let mut cfg = XbarConfig::ideal();
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        cfg.noise.device.on_off_ratio = 20.0;
+        cfg.noise.device.stuck_on_rate = 0.02;
+        let w = random_pm1(&[10, 12], 62);
+        let mut rng = Rng::from_seed(63);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        xbar.remap(&RecoveryPolicy::standard(), &mut rng).unwrap();
+        assert!(xbar.recovery_report().is_some());
+        // a fault arriving after the repair invalidates its claims
+        xbar.inject_fault(3, 5, CellSide::Pos, CellHealth::StuckOn).unwrap();
+        assert!(
+            xbar.recovery_report().is_none(),
+            "recovery telemetry must not outlive the state it describes"
+        );
+        assert!(xbar.inject_fault(99, 0, CellSide::Pos, CellHealth::StuckOn).is_err());
     }
 }

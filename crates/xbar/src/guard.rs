@@ -1,0 +1,360 @@
+//! Algorithm-based fault tolerance (ABFT) for crossbar execution.
+//!
+//! Every armed [`Tile`](crate::Tile) carries one **checksum column**: a
+//! snapshot of the per-row sum of signed effective weights,
+//! `w_chk[i] = Σ_j sign_j·w_eff[i][j]`. Because the digital column
+//! polarity is applied before temporal accumulation, the clean readout
+//! satisfies `Σ_j y_j = Σ_i x_i·w_chk[i]` exactly — so after every pulse
+//! the engine can compare the sum of the digitized column outputs against
+//! an independently read (and independently noisy) checksum output. The
+//! comparison tolerance is derived analytically from the same variance
+//! algebra the paper's Eqs. 2–4 use: each of the `J` regular columns and
+//! the checksum column contributes `σ_out²` of functional read noise,
+//! cycle-to-cycle noise contributes `(σ_c2c/(G_on−G_off))²·Σ_i x_i²(G⁺²+G⁻²)`
+//! on both sides of the comparison, and an ADC adds `step²/12` of
+//! quantization variance per converted column (iid-uniform model).
+//!
+//! On violation a [`GuardPolicy`] walks a deterministic escalation ladder
+//! with bounded budgets — retry with fresh keyed noise, targeted refresh,
+//! march-test + remap, digital fallback — and every event is counted in
+//! [`GuardStats`], which merges through
+//! [`ExecutionStats`](crate::ExecutionStats).
+
+use membit_tensor::TensorError;
+
+use crate::noise::NoiseSpec;
+use crate::remap::RecoveryPolicy;
+use crate::Result;
+
+/// Substream tag separating checksum-readout noise from the MVM noise
+/// draws: guard draws come from
+/// `base.substream(&[pulse, sample, row_tile, col_tile]).substream(&[TAG, attempt])`,
+/// so arming a guard never perturbs the unguarded noise realizations.
+pub(crate) const GUARD_STREAM_TAG: u64 = 0x4755_4152_445f_4348;
+/// Substream tag for pulse re-executions (stage-1 retries).
+pub(crate) const RETRY_STREAM_TAG: u64 = 0x4742_4f5f_5254_5259;
+
+/// Configuration of checksum-guarded execution: the detection threshold
+/// and the budgets of each escalation stage.
+///
+/// The ladder an engine walks when a tile's checksum violation survives
+/// its in-place retries:
+///
+/// 1. **Retry** (inside the parallel workers, pure): re-execute the
+///    offending pulse up to `max_retries` times with fresh noise keyed by
+///    `(pulse, sample, tile, attempt)`, accepting the first readout that
+///    passes its own checksum.
+/// 2. **Refresh** (`refresh_rounds` rounds): re-program the offending
+///    tiles toward their stored targets. Cures drift; preserves the armed
+///    checksum reference, so a persistent fault keeps violating.
+/// 3. **Remap** (`remap_rounds` rounds): march-test + remap the offending
+///    tiles with `remap` (PR 1 machinery), then re-arm their checksums —
+///    the repaired state, residual damage included, becomes the new
+///    reference and is reported through the engine's
+///    [`RemapReport`](crate::RemapReport).
+/// 4. **Fallback**: mark the engine degraded and serve the digital
+///    `x·Wᵀ` reference output for this and every later execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Detection threshold in standard deviations of the checksum
+    /// comparison statistic. The per-check false-positive probability is
+    /// roughly the two-sided Gaussian tail at `z` (see
+    /// [`false_positive_rate`](Self::false_positive_rate)).
+    pub z: f32,
+    /// Absolute tolerance floor added to the analytic term: covers f32
+    /// summation-order differences between `Σ_j y_j` and the checksum
+    /// (the two accumulate in different orders), the ≤1e-5 relative drift
+    /// of the incremental pulse-delta schedule, and ADC model tails.
+    pub min_tolerance: f32,
+    /// Stage-1 budget: pulse re-executions per violating readout.
+    pub max_retries: u32,
+    /// Stage-2 budget: targeted-refresh rounds per guarded execution.
+    pub refresh_rounds: u32,
+    /// Stage-3 budget: march-test + remap rounds per guarded execution.
+    pub remap_rounds: u32,
+    /// Recovery policy used by stage 3.
+    pub remap: RecoveryPolicy,
+}
+
+impl GuardPolicy {
+    /// Standard guard: 6σ detection, 0.05 absolute floor, 2 retries, one
+    /// refresh round, one remap round with the standard recovery policy.
+    pub fn standard() -> Self {
+        Self {
+            z: 6.0,
+            min_tolerance: 0.05,
+            max_retries: 2,
+            refresh_rounds: 1,
+            remap_rounds: 1,
+            remap: RecoveryPolicy::standard(),
+        }
+    }
+
+    /// Detection without hardware repair: retries only, then straight to
+    /// the digital fallback. Useful to audit violation rates without
+    /// mutating arrays.
+    pub fn detect_only() -> Self {
+        Self {
+            refresh_rounds: 0,
+            remap_rounds: 0,
+            ..Self::standard()
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a non-positive or
+    /// non-finite `z`, a negative or non-finite tolerance floor, or an
+    /// invalid embedded recovery policy.
+    pub fn validate(&self) -> Result<()> {
+        if !self.z.is_finite() || self.z <= 0.0 {
+            return Err(TensorError::InvalidArgument(
+                "guard z must be positive and finite".into(),
+            ));
+        }
+        if !self.min_tolerance.is_finite() || self.min_tolerance < 0.0 {
+            return Err(TensorError::InvalidArgument(
+                "guard min_tolerance must be non-negative and finite".into(),
+            ));
+        }
+        self.remap.validate()
+    }
+
+    /// The checksum comparison tolerance for one pulse readout of a tile
+    /// with `cols` regular columns.
+    ///
+    /// `var_term` is `Σ_i x_i²·Σ_j (G⁺²+G⁻²)` over the tile — the
+    /// aggregated cycle-to-cycle variance numerator that
+    /// `Tile::checksum_pulse` returns alongside the checksum. `adc_step`
+    /// is the row-block ADC step when one is configured (`None` models an
+    /// ideal readout).
+    ///
+    /// Variance budget: `cols` regular columns plus the checksum column
+    /// each carry `σ_out²` of functional noise and `step²/12` of
+    /// quantization variance; cycle-to-cycle noise contributes
+    /// `(σ_c2c/(G_on−G_off))²·var_term` on each side of the comparison.
+    pub fn tolerance(
+        &self,
+        noise: &NoiseSpec,
+        cols: usize,
+        var_term: f32,
+        adc_step: Option<f32>,
+    ) -> f32 {
+        let k = cols as f32 + 1.0;
+        let mut var = k * noise.output_sigma * noise.output_sigma;
+        if noise.device.c2c_sigma > 0.0 {
+            let denom = noise.device.g_on - noise.device.g_off();
+            let s = noise.device.c2c_sigma / denom;
+            var += 2.0 * s * s * var_term;
+        }
+        if let Some(step) = adc_step {
+            var += k * step * step / 12.0;
+        }
+        self.z * var.sqrt() + self.min_tolerance
+    }
+
+    /// Analytic estimate of the per-check false-positive probability: the
+    /// standard upper bound on the two-sided Gaussian tail at `z`,
+    /// `√(2/π)·exp(−z²/2)/z` (tight for `z ≳ 2`; clamped to 1).
+    pub fn false_positive_rate(&self) -> f64 {
+        let z = f64::from(self.z);
+        if z <= 0.0 {
+            return 1.0;
+        }
+        ((2.0 / std::f64::consts::PI).sqrt() * (-z * z / 2.0).exp() / z).min(1.0)
+    }
+
+    /// Analytic estimate of the probability that a clean readout
+    /// *escalates* past stage 1: the first check and every retry must all
+    /// fail independently, so the rate is
+    /// [`false_positive_rate`](Self::false_positive_rate)`^(1+max_retries)`.
+    pub fn false_escalation_rate(&self) -> f64 {
+        self.false_positive_rate()
+            .powi(i32::try_from(self.max_retries).unwrap_or(i32::MAX).saturating_add(1))
+    }
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Telemetry counters of checksum-guarded execution. All fields are
+/// integer event counts so the struct stays `Copy + Eq` inside
+/// [`ExecutionStats`](crate::ExecutionStats); derived rates (violation
+/// rate, expected false positives) are computed on demand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Checksum comparisons performed (one per pulse per sample per
+    /// armed tile, plus one per retry).
+    pub checks: u64,
+    /// Comparisons that exceeded their tolerance.
+    pub violations: u64,
+    /// Pulse re-executions triggered by violations (stage 1).
+    pub retries: u64,
+    /// Retries whose fresh readout passed its checksum.
+    pub retry_successes: u64,
+    /// Targeted tile refreshes triggered by persistent violations
+    /// (stage 2).
+    pub tile_refreshes: u64,
+    /// March-test + remap passes triggered on offending tiles (stage 3).
+    pub tile_remaps: u64,
+    /// Executions served by the digital fallback path (stage 4).
+    pub fallbacks: u64,
+    /// Layers currently degraded to the digital fallback. Set-once
+    /// deployment state, not a per-batch event: populated per evaluation,
+    /// merged with max-semantics.
+    pub degraded_layers: u64,
+}
+
+impl GuardStats {
+    /// Accumulates another stats block. Event counters saturate instead
+    /// of wrapping; `degraded_layers` describes the deployment (set once
+    /// per evaluation) and takes the max.
+    pub fn merge(&mut self, other: &GuardStats) {
+        self.checks = self.checks.saturating_add(other.checks);
+        self.violations = self.violations.saturating_add(other.violations);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.retry_successes = self.retry_successes.saturating_add(other.retry_successes);
+        self.tile_refreshes = self.tile_refreshes.saturating_add(other.tile_refreshes);
+        self.tile_remaps = self.tile_remaps.saturating_add(other.tile_remaps);
+        self.fallbacks = self.fallbacks.saturating_add(other.fallbacks);
+        self.degraded_layers = self.degraded_layers.max(other.degraded_layers);
+    }
+
+    /// Fraction of checks that violated their tolerance (0 when nothing
+    /// was checked).
+    pub fn violation_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.checks as f64
+        }
+    }
+
+    /// Expected number of false-positive detections among the performed
+    /// checks under `policy`, assuming a fault-free array — the baseline
+    /// to judge the observed `violations` against.
+    pub fn expected_false_positives(&self, policy: &GuardPolicy) -> f64 {
+        self.checks as f64 * policy.false_positive_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_policy_validates() {
+        GuardPolicy::standard().validate().unwrap();
+        GuardPolicy::detect_only().validate().unwrap();
+        assert_eq!(GuardPolicy::default(), GuardPolicy::standard());
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let mut p = GuardPolicy::standard();
+        p.z = 0.0;
+        assert!(p.validate().is_err());
+        p.z = f32::NAN;
+        assert!(p.validate().is_err());
+        let mut q = GuardPolicy::standard();
+        q.min_tolerance = -0.1;
+        assert!(q.validate().is_err());
+        let mut r = GuardPolicy::standard();
+        r.remap.march.reads = 0;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn tolerance_matches_variance_algebra() {
+        let p = GuardPolicy {
+            z: 2.0,
+            min_tolerance: 0.01,
+            ..GuardPolicy::standard()
+        };
+        // functional noise only: J+1 columns of σ² variance
+        let noise = NoiseSpec::functional(0.5);
+        let tol = p.tolerance(&noise, 3, 0.0, None);
+        let expect = 2.0 * (4.0f32 * 0.25).sqrt() + 0.01;
+        assert!((tol - expect).abs() < 1e-6, "{tol} vs {expect}");
+        // ADC adds k·step²/12
+        let tol_adc = p.tolerance(&noise, 3, 0.0, Some(0.6));
+        let expect_adc = 2.0 * (4.0f32 * 0.25 + 4.0 * 0.36 / 12.0).sqrt() + 0.01;
+        assert!((tol_adc - expect_adc).abs() < 1e-6);
+        // zero noise leaves only the floor
+        let quiet = p.tolerance(&NoiseSpec::none(), 8, 0.0, None);
+        assert!((quiet - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tolerance_includes_c2c_on_both_sides() {
+        let p = GuardPolicy {
+            z: 1.0,
+            min_tolerance: 0.0,
+            ..GuardPolicy::standard()
+        };
+        let mut noise = NoiseSpec::none();
+        noise.device.c2c_sigma = 0.1;
+        noise.device.on_off_ratio = f32::INFINITY;
+        let denom = noise.device.g_on - noise.device.g_off();
+        let var_term = 50.0f32;
+        let tol = p.tolerance(&noise, 4, var_term, None);
+        let s = 0.1 / denom;
+        let expect = (2.0 * s * s * var_term).sqrt();
+        assert!((tol - expect).abs() < 1e-6, "{tol} vs {expect}");
+    }
+
+    #[test]
+    fn false_positive_rate_decays_with_z() {
+        let mut p = GuardPolicy::standard();
+        p.z = 3.0;
+        let loose = p.false_positive_rate();
+        p.z = 6.0;
+        let tight = p.false_positive_rate();
+        assert!(tight < loose);
+        assert!(tight < 1e-8, "6σ tail must be negligible: {tight}");
+        assert!(p.false_escalation_rate() < tight);
+        p.z = 0.0;
+        assert_eq!(p.false_positive_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_merge_saturates_and_maxes() {
+        let mut a = GuardStats {
+            checks: u64::MAX - 1,
+            violations: 2,
+            retries: 3,
+            retry_successes: 1,
+            tile_refreshes: 1,
+            tile_remaps: 1,
+            fallbacks: 1,
+            degraded_layers: 2,
+        };
+        let b = GuardStats {
+            checks: 5,
+            degraded_layers: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.checks, u64::MAX, "adds must saturate");
+        assert_eq!(a.violations, 2);
+        assert_eq!(a.degraded_layers, 2, "set-once field takes the max");
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = GuardStats {
+            checks: 200,
+            violations: 3,
+            ..Default::default()
+        };
+        assert!((s.violation_rate() - 0.015).abs() < 1e-12);
+        assert_eq!(GuardStats::default().violation_rate(), 0.0);
+        let p = GuardPolicy::standard();
+        assert!(s.expected_false_positives(&p) < 1e-5);
+    }
+}

@@ -18,6 +18,13 @@
 //! they are counted in [`RemapReport`] / [`ExecutionStats`] instead of
 //! failing the deployment.
 //!
+//! On top of the offline lifecycle sits **online ABFT**: every tile can
+//! arm a checksum column ([`Tile::arm_guard`]) and
+//! [`CrossbarLinear::execute_guarded`] compares each digitized pulse
+//! readout against it with an analytically derived tolerance, walking a
+//! deterministic retry → refresh → remap → digital-fallback escalation
+//! ladder ([`GuardPolicy`]) whose telemetry lands in [`GuardStats`].
+//!
 //! The paper itself trains and evaluates against the *functional* noise
 //! model `o = Wx + N(0, σ²)` (its Eq. 1); this crate provides the richer
 //! substrate used to (a) validate the closed-form variance formulas by
@@ -50,6 +57,7 @@ mod device;
 mod energy;
 mod engine;
 mod fault;
+mod guard;
 mod noise;
 mod program;
 mod remap;
@@ -59,6 +67,7 @@ pub use adc::Adc;
 pub use device::{CellHealth, DeviceModel};
 pub use energy::{EnergyModel, ExecutionStats};
 pub use engine::{CrossbarLinear, ExecOptions, XbarConfig};
+pub use guard::{GuardPolicy, GuardStats};
 pub use fault::{CellFault, CellSide, FaultMap, HealthMonitor, MarchTestConfig};
 pub use noise::NoiseSpec;
 pub use program::{

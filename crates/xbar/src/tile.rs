@@ -55,6 +55,26 @@ struct WeightCache {
     col_sq: Vec<f32>,
 }
 
+/// The ABFT checksum column of an armed tile: a snapshot of the per-row
+/// sums taken at arming time. Deliberately **not** maintained eagerly by
+/// mutators (unlike [`WeightCache`]): the snapshot is the *reference* the
+/// guard compares live readouts against, so uncommanded physics (aging,
+/// fault injection, disturbance) must leave it stale — that staleness is
+/// exactly what makes the resulting corruption detectable. Only the
+/// engine re-arms, and only after commanded, verified repair (remap).
+#[derive(Debug, Clone)]
+struct GuardColumn {
+    /// Per-row signed effective-weight sum `Σ_j sign_j·w_eff[i][j]` — the
+    /// idealized conductance the checksum column stores, so the clean
+    /// checksum readout is `Σ_i x_i·w_chk[i] = Σ_j y_j`.
+    w_chk: Vec<f32>,
+    /// Per-row sum of `G⁺²+G⁻²` over the tile's columns: `Σ_i x_i²·chk_sq[i]`
+    /// is the aggregated cycle-to-cycle variance numerator of the full
+    /// readout, used both to draw the checksum's own c2c noise and to
+    /// derive the comparison tolerance.
+    chk_sq: Vec<f32>,
+}
+
 /// A `rows × cols` crossbar tile storing binary weights as differential
 /// conductance pairs.
 ///
@@ -93,6 +113,8 @@ pub struct Tile {
     device: DeviceModel,
     /// Always-valid derived state for [`MvmKernel::Cached`].
     cache: WeightCache,
+    /// ABFT checksum snapshot; `None` until the engine arms the tile.
+    guard: Option<GuardColumn>,
 }
 
 impl Tile {
@@ -205,6 +227,7 @@ impl Tile {
                 g_sq: vec![0.0; cells],
                 col_sq: vec![0.0; cols],
             },
+            guard: None,
         })
     }
 
@@ -570,6 +593,81 @@ impl Tile {
     }
 
     // ------------------------------------------------------------------
+    // ABFT checksum column
+    // ------------------------------------------------------------------
+
+    /// Arms (or re-arms) the checksum column: snapshots the per-row
+    /// signed effective-weight sums of the *current* physical state.
+    /// Costs one logical column of storage — the ≤1-extra-column ABFT
+    /// budget.
+    ///
+    /// Arming is an engine-level policy decision: it happens after
+    /// programming and after commanded, verified repair (remap). Tile
+    /// mutators never re-arm on their own — in particular `refresh`
+    /// restores conductances *toward* the armed reference, and aging,
+    /// disturbance, or fault injection drifts the array *away* from it;
+    /// re-arming there would absorb the corruption into the reference and
+    /// silently pass bad output.
+    pub fn arm_guard(&mut self) {
+        let mut w_chk = vec![0.0f32; self.rows];
+        let mut chk_sq = vec![0.0f32; self.rows];
+        for row in 0..self.rows {
+            let base = row * self.cols;
+            let mut wsum = 0.0f32;
+            let mut qsum = 0.0f32;
+            for col in 0..self.cols {
+                wsum += self.col_sign[col] * self.cache.w_eff[base + col];
+                qsum += self.cache.g_sq[base + col];
+            }
+            w_chk[row] = wsum;
+            chk_sq[row] = qsum;
+        }
+        self.guard = Some(GuardColumn { w_chk, chk_sq });
+    }
+
+    /// Drops the checksum column; subsequent MVMs run unguarded.
+    pub fn disarm_guard(&mut self) {
+        self.guard = None;
+    }
+
+    /// Whether a checksum column is armed.
+    pub fn guard_armed(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// Reads the checksum column for one pulse: returns
+    /// `(checksum, var_term)` where `checksum = Σ_i x_i·w_chk[i]` plus
+    /// this column's own read noise, and
+    /// `var_term = Σ_i x_i²·chk_sq[i]` is the aggregated c2c variance
+    /// numerator [`GuardPolicy::tolerance`](crate::GuardPolicy::tolerance)
+    /// consumes. Returns `None` on an unarmed tile.
+    ///
+    /// The noise tail mirrors the regular readout: one aggregated
+    /// cycle-to-cycle draw (`N(0, (σ_c2c/(G_on−G_off))²·var_term)`), then
+    /// one functional output-noise draw. `rng` must be a dedicated guard
+    /// substream so arming never perturbs the unguarded noise sequence.
+    pub fn checksum_pulse(&self, x: &[f32], noise: &NoiseSpec, rng: &mut Rng) -> Option<(f32, f32)> {
+        let guard = self.guard.as_ref()?;
+        let mut chk = 0.0f32;
+        let mut var = 0.0f32;
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            chk += xi * guard.w_chk[i];
+            var += xi * xi * guard.chk_sq[i];
+        }
+        if self.device.c2c_sigma > 0.0 && var > 0.0 {
+            let denom = self.device.g_on - self.device.g_off();
+            chk += rng.normal(0.0, self.device.c2c_sigma / denom * var.sqrt());
+        }
+        if noise.output_sigma > 0.0 {
+            chk += rng.normal(0.0, noise.output_sigma);
+        }
+        Some((chk, var))
+    }
+
+    // ------------------------------------------------------------------
     // Fault detection and recovery primitives
     // ------------------------------------------------------------------
 
@@ -875,6 +973,36 @@ impl Tile {
                 self.health_neg[idx] = health;
                 self.g_neg[idx] = g;
             }
+        }
+        self.rebuild_cache_col(col);
+        Ok(())
+    }
+
+    /// Forces one cell's conductance onto a rail — `high` → `G_on`,
+    /// otherwise `G_off` — **without** touching its health: a transient
+    /// upset (read disturb, drift excursion, particle strike) that the
+    /// next [`refresh`](Tile::refresh) reprograms away. Contrast with
+    /// [`inject_fault`](Tile::inject_fault), whose pinned health survives
+    /// reprogramming and needs march-test + remap. The weight cache is
+    /// patched, so upsets are safe to interleave with
+    /// [`MvmKernel::Cached`] execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for out-of-range
+    /// coordinates.
+    pub fn upset_cell(&mut self, row: usize, col: usize, side: CellSide, high: bool) -> Result<()> {
+        if row >= self.rows || col >= self.cols {
+            return Err(TensorError::InvalidArgument(format!(
+                "upset_cell ({row}, {col}) out of range for {}×{}",
+                self.rows, self.cols
+            )));
+        }
+        let idx = row * self.cols + col;
+        let g = if high { self.device.g_on } else { self.device.g_off() };
+        match side {
+            CellSide::Pos => self.g_pos[idx] = g,
+            CellSide::Neg => self.g_neg[idx] = g,
         }
         self.rebuild_cache_col(col);
         Ok(())
@@ -1361,5 +1489,124 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn checksum_matches_noiseless_column_sum() {
+        let mut rng = Rng::from_seed(7);
+        let mut tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        assert!(!tile.guard_armed());
+        assert!(tile
+            .checksum_pulse(&[1.0, 1.0, 1.0], &NoiseSpec::none(), &mut rng)
+            .is_none());
+        tile.arm_guard();
+        assert!(tile.guard_armed());
+        let x = [1.0, -1.0, 1.0];
+        let mut out = [0.0f32; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk, var) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        let sum: f32 = out.iter().sum();
+        assert!((chk - sum).abs() < 1e-6, "checksum {chk} vs Σy {sum}");
+        // ideal ±1 cells: Σ x² (G⁺²+G⁻²) = active_rows · cols · G_on²
+        let g_on = DeviceModel::ideal().g_on;
+        assert!((var - 3.0 * 2.0 * g_on * g_on).abs() < 1e-4);
+        tile.disarm_guard();
+        assert!(!tile.guard_armed());
+    }
+
+    #[test]
+    fn checksum_tracks_polarity_at_arming_time() {
+        let mut rng = Rng::from_seed(11);
+        // d2d + IR-drop + finite on/off, but no c2c: the checksum and the
+        // regular columns draw *independent* c2c noise, so only a
+        // noise-free read compares exactly
+        let mut device = lossy_device();
+        device.c2c_sigma = 0.0;
+        let mut tile = Tile::program(&weights(), &device, &mut rng).unwrap();
+        tile.flip_column(1, &mut rng).unwrap();
+        tile.arm_guard();
+        let x = [1.0, 1.0, -1.0];
+        let mut out = [0.0f32; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk, _) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        let sum: f32 = out.iter().sum();
+        assert!(
+            (chk - sum).abs() < 1e-5 * (1.0 + sum.abs()),
+            "checksum {chk} vs Σy {sum}"
+        );
+    }
+
+    #[test]
+    fn stale_checksum_exposes_injected_fault() {
+        let mut rng = Rng::from_seed(13);
+        let mut tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        tile.arm_guard();
+        // corrupt a pair after arming: the snapshot must NOT follow
+        tile.inject_fault(0, 0, CellSide::Pos, CellHealth::StuckOff)
+            .unwrap();
+        let x = [1.0, 1.0, 1.0];
+        let mut out = [0.0f32; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk, _) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        let sum: f32 = out.iter().sum();
+        assert!(
+            (chk - sum).abs() > 0.5,
+            "stuck-off flip of a +1 cell must shift Σy by ~1: chk {chk}, Σy {sum}"
+        );
+        // a refresh restores toward targets but cannot cure the stuck
+        // cell, and must not re-arm: the violation persists
+        let mut stats = ProgramStats::default();
+        tile.refresh(None, &mut rng, &mut stats);
+        assert!(tile.guard_armed());
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk2, _) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        let sum2: f32 = out.iter().sum();
+        assert!((chk2 - sum2).abs() > 0.5, "refresh must not absorb the fault");
+    }
+
+    #[test]
+    fn upset_is_transient_refresh_cures_it_and_health_is_untouched() {
+        let mut rng = Rng::from_seed(14);
+        let mut tile = Tile::program(&weights(), &DeviceModel::ideal(), &mut rng).unwrap();
+        tile.arm_guard();
+        let before = tile.effective_weight(0, 0);
+        tile.upset_cell(0, 0, CellSide::Pos, false).unwrap();
+        assert_ne!(
+            tile.effective_weight(0, 0),
+            before,
+            "rail excursion must move the weight"
+        );
+        assert_eq!(tile.health(0, 0), (CellHealth::Healthy, CellHealth::Healthy));
+        let x = [1.0, 1.0, 1.0];
+        let mut out = [0.0f32; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk, _) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        assert!(
+            (chk - out.iter().sum::<f32>()).abs() > 0.5,
+            "upset must trip the stale checksum"
+        );
+        // unlike a pinned-health fault, reprogramming cures the
+        // excursion completely: the original armed reference holds again
+        let mut stats = ProgramStats::default();
+        tile.refresh(None, &mut rng, &mut stats);
+        assert_eq!(tile.effective_weight(0, 0), before);
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        let (chk2, _) = tile
+            .checksum_pulse(&x, &NoiseSpec::none(), &mut rng)
+            .unwrap();
+        assert!(
+            (chk2 - out.iter().sum::<f32>()).abs() < 1e-5,
+            "cured array must satisfy the original reference"
+        );
     }
 }

@@ -12,7 +12,10 @@
 use membit_encoding::pla::PlaThermometer;
 use membit_encoding::{BitEncoder, BitSlicing, Thermometer};
 use membit_tensor::{Rng, Tensor};
-use membit_xbar::{CrossbarLinear, ExecOptions, ExecutionStats, MvmKernel, XbarConfig};
+use membit_xbar::{
+    CellHealth, CellSide, CrossbarLinear, ExecOptions, ExecutionStats, GuardPolicy, MvmKernel,
+    XbarConfig,
+};
 use proptest::prelude::*;
 
 fn pm1_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
@@ -85,6 +88,60 @@ proptest! {
     }
 
     #[test]
+    fn guarded_execution_is_bitwise_identical_across_thread_counts(
+        seed in 0u64..300,
+        tile_rows in 3usize..12,
+        tile_cols in 3usize..12,
+        noise_kind in 0usize..3,
+        batch in 1usize..7,
+        faults in proptest::collection::vec((0usize..14, 0usize..10), 0..6),
+    ) {
+        // the guard's checksum, retry, and ladder noise all come from
+        // substreams keyed by (pulse, sample, tile, stream-tag, attempt),
+        // and ladder decisions depend only on order-independent per-tile
+        // violation counts — so guarded execution, including detections
+        // triggered by mid-inference fault injection, must stay bitwise
+        // identical for every thread count
+        let w = pm1_matrix(10, 14, seed);
+        let x = Tensor::from_fn(&[batch, 14], |i| {
+            (((i * 5 + seed as usize) % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0)
+        });
+        let train = Thermometer::new(6).unwrap().encode_tensor(&x).unwrap();
+        let mut cfg = match noise_kind {
+            0 => XbarConfig::ideal(),
+            1 => XbarConfig::functional(0.3),
+            _ => XbarConfig::realistic(0.2),
+        };
+        cfg.tile_rows = tile_rows;
+        cfg.tile_cols = tile_cols;
+        cfg.guard = Some(GuardPolicy::standard());
+
+        let run_guarded = |threads: usize, kernel: MvmKernel| {
+            let mut cfg = cfg;
+            cfg.exec = ExecOptions { max_threads: threads, samples_per_thread: 1, kernel };
+            let mut rng = Rng::from_seed(seed + 5000);
+            let mut engine = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+            for &(row, col) in &faults {
+                engine.inject_fault(row, col, CellSide::Pos, CellHealth::StuckOff).unwrap();
+            }
+            let (y, stats) = engine.execute_guarded(&train, &mut rng).unwrap();
+            (y.as_slice().to_vec(), stats, engine.is_degraded())
+        };
+        for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+            let (y1, s1, d1) = run_guarded(1, kernel);
+            for threads in [2usize, 8] {
+                let (yt, st, dt) = run_guarded(threads, kernel);
+                prop_assert_eq!(
+                    &y1, &yt,
+                    "guarded outputs diverged at {} threads ({:?})", threads, kernel
+                );
+                prop_assert_eq!(s1, st, "guarded stats diverged at {} threads ({:?})", threads, kernel);
+                prop_assert_eq!(d1, dt);
+            }
+        }
+    }
+
+    #[test]
     fn repeated_executions_draw_fresh_noise(seed in 0u64..300) {
         // substream derivation must not freeze the noise: two executes on
         // one rng see different realizations (nonce-keyed families)
@@ -98,6 +155,51 @@ proptest! {
         let a = engine.execute(&train, &mut rng).unwrap();
         let b = engine.execute(&train, &mut rng).unwrap();
         prop_assert_ne!(a.at(0), b.at(0));
+    }
+}
+
+/// The stage-1 retry path specifically: a fixture engineered to trip the
+/// detector (loose z on a noisy array) must exercise retries, and the
+/// retried outputs must stay bitwise identical across thread counts —
+/// retry noise is keyed by `(pulse, sample, tile, retry-tag, attempt)`,
+/// never drawn from a worker-local stream.
+#[test]
+fn guard_retry_path_is_bitwise_identical_across_thread_counts() {
+    let w = pm1_matrix(12, 16, 77);
+    let x = Tensor::from_fn(&[8, 16], |i| ((i % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0));
+    let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+    let mut policy = GuardPolicy::standard();
+    policy.z = 2.0; // ~4.6% of clean checks trip → plenty of retries
+    policy.min_tolerance = 0.0;
+    policy.max_retries = 8;
+    policy.refresh_rounds = 0;
+    policy.remap_rounds = 0;
+    let mut cfg = XbarConfig::functional(0.4);
+    cfg.tile_rows = 8;
+    cfg.tile_cols = 8;
+    cfg.guard = Some(policy);
+
+    let run_guarded = |threads: usize, kernel: MvmKernel| {
+        let mut cfg = cfg;
+        cfg.exec = ExecOptions {
+            max_threads: threads,
+            samples_per_thread: 1,
+            kernel,
+        };
+        let mut rng = Rng::from_seed(78);
+        let mut engine = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        let (y, stats) = engine.execute_guarded(&train, &mut rng).unwrap();
+        (y.as_slice().to_vec(), stats)
+    };
+    for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+        let (y1, s1) = run_guarded(1, kernel);
+        assert!(s1.guard.retries > 0, "fixture must exercise retries ({kernel:?})");
+        assert!(s1.guard.retry_successes > 0, "{:?}", s1.guard);
+        for threads in [2usize, 8] {
+            let (yt, st) = run_guarded(threads, kernel);
+            assert_eq!(y1, yt, "retry outputs diverged at {threads} threads ({kernel:?})");
+            assert_eq!(s1, st, "retry stats diverged at {threads} threads ({kernel:?})");
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Differential testing of the cached-weight MVM fast path.
 //!
-//! Two properties guard the `MvmKernel::Cached` path (and the
+//! Three properties guard the `MvmKernel::Cached` path (and the
 //! incremental pulse-delta schedule it unlocks for nested-unary trains):
 //!
 //! 1. **Kernel agreement** — on identical hardware, cached and reference
@@ -15,13 +15,16 @@
 //!    agrees bitwise with the reference kernel, which reads raw
 //!    conductances and cannot be stale. Every mutator must rebuild or
 //!    patch the cache eagerly for this to hold.
+//! 3. **Guard composition** — under checksum-guarded execution, the
+//!    cached kernel never masks a violation the reference kernel
+//!    catches, even when faults are injected mid-sequence.
 
 use membit_encoding::pla::PlaThermometer;
 use membit_encoding::{Amplitude, BitEncoder, BitSlicing, Thermometer};
 use membit_tensor::{Rng, Tensor};
 use membit_xbar::{
-    CellHealth, CellSide, CrossbarLinear, DeviceModel, ExecOptions, ExecutionStats, MvmKernel,
-    NoiseSpec, ProgramStats, Tile, WriteVerify, XbarConfig,
+    CellHealth, CellSide, CrossbarLinear, DeviceModel, ExecOptions, ExecutionStats, GuardPolicy,
+    MvmKernel, NoiseSpec, ProgramStats, Tile, WriteVerify, XbarConfig,
 };
 use proptest::prelude::*;
 
@@ -86,6 +89,78 @@ proptest! {
                 (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
                 "element {}: cached {} vs reference {}", i, a, b
             );
+        }
+    }
+
+    #[test]
+    fn cached_kernel_never_masks_guard_violations(
+        seed in 0u64..400,
+        tile_rows in 3usize..12,
+        tile_cols in 3usize..12,
+        noise_kind in 0usize..3,
+        batch in 1usize..5,
+        faults in proptest::collection::vec((0usize..14, 0usize..10), 1..6),
+    ) {
+        // The incremental pulse-delta schedule must compose with guarded
+        // execution: for any fault set injected mid-sequence (between a
+        // clean execute and a faulty one), the cached kernel must never
+        // mask a checksum violation the reference kernel catches.
+        // Detection is compared *binarily*, not count-for-count — the
+        // kernels differ by ≤1e-5 in accumulation order, so a check
+        // sitting exactly on the tolerance boundary may legitimately
+        // flip, but a fault big enough to matter trips both.
+        let w = pm1_matrix(10, 14, seed);
+        let x = Tensor::from_fn(&[batch, 14], |i| {
+            (((i * 5 + seed as usize) % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0)
+        });
+        let train = Thermometer::new(6).unwrap().encode_tensor(&x).unwrap();
+        let mut cfg = match noise_kind {
+            0 => XbarConfig::ideal(),
+            1 => XbarConfig::functional(0.3),
+            _ => XbarConfig::realistic(0.2),
+        };
+        cfg.tile_rows = tile_rows;
+        cfg.tile_cols = tile_cols;
+        // detection-only ladder: no mid-execution refresh/remap, so both
+        // engines run the whole sequence on identical hardware
+        cfg.guard = Some(GuardPolicy::detect_only());
+
+        let run_guarded = |kernel: MvmKernel| {
+            let mut cfg = cfg;
+            cfg.exec = ExecOptions::serial().with_kernel(kernel);
+            let mut rng = Rng::from_seed(seed + 6000);
+            let mut engine = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+            let (_, clean) = engine.execute_guarded(&train, &mut rng).unwrap();
+            for &(row, col) in &faults {
+                engine
+                    .inject_fault(row, col, CellSide::Pos, CellHealth::StuckOff)
+                    .unwrap();
+            }
+            let (y, faulty) = engine.execute_guarded(&train, &mut rng).unwrap();
+            (clean.guard, faulty.guard, y.as_slice().to_vec())
+        };
+        let (clean_c, faulty_c, y_c) = run_guarded(MvmKernel::Cached);
+        let (clean_r, faulty_r, y_r) = run_guarded(MvmKernel::Reference);
+
+        // before injection the array is exactly as programmed: at z = 6
+        // a false positive is a ~1e-9 event, so both kernels must be clean
+        prop_assert_eq!(clean_c.violations, 0, "cached kernel false-positive: {:?}", clean_c);
+        prop_assert_eq!(clean_r.violations, 0, "reference kernel false-positive: {:?}", clean_r);
+        // the one-sided no-masking property
+        prop_assert!(
+            !(faulty_r.violations > 0 && faulty_c.violations == 0),
+            "cached kernel masked a violation: cached {:?} vs reference {:?}",
+            faulty_c, faulty_r
+        );
+        // when the fault set is benign under both kernels the outputs are
+        // ordinary guarded readouts and must agree like any other MVM
+        if faulty_c.violations == 0 && faulty_r.violations == 0 {
+            for (i, (a, b)) in y_c.iter().zip(&y_r).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                    "element {}: cached {} vs reference {}", i, a, b
+                );
+            }
         }
     }
 

@@ -1,0 +1,102 @@
+//! Order-independence of stats merging.
+//!
+//! The parallel engine folds worker-local [`ExecutionStats`] blocks (and
+//! the [`GuardStats`] block nested inside) in whatever order its workers
+//! finish. Thread-count determinism therefore *requires* the merge to be
+//! commutative and associative — saturating adds and max both are, while
+//! a wrapping or panicking add stops being associative the moment
+//! saturation enters the picture. These properties are pinned across the
+//! full `u64` range, including values that force saturation.
+
+use membit_xbar::{ExecutionStats, GuardStats};
+use proptest::prelude::*;
+
+/// Builds a stats block from 16 raw counters (8 base + 8 guard).
+/// Full-range `u64` inputs make saturation a common case, not a corner.
+fn stats_from(raw: &[u64]) -> ExecutionStats {
+    ExecutionStats {
+        vectors: raw[0],
+        pulses: raw[1],
+        tile_mvms: raw[2],
+        adc_conversions: raw[3],
+        cell_reads: raw[4],
+        unrecoverable_cells: raw[5],
+        degraded_tiles: raw[6],
+        refreshes: raw[7],
+        guard: GuardStats {
+            checks: raw[8],
+            violations: raw[9],
+            retries: raw[10],
+            retry_successes: raw[11],
+            tile_refreshes: raw[12],
+            tile_remaps: raw[13],
+            fallbacks: raw[14],
+            degraded_layers: raw[15],
+        },
+    }
+}
+
+fn merged(a: &ExecutionStats, b: &ExecutionStats) -> ExecutionStats {
+    let mut out = *a;
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(
+        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        rb in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+    ) {
+        let (a, b) = (stats_from(&ra), stats_from(&rb));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        rb in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        rc in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+    ) {
+        let (a, b, c) = (stats_from(&ra), stats_from(&rb), stats_from(&rc));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn merge_order_never_matters_for_any_fold(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+            1..6,
+        ),
+        rot in 0usize..6,
+    ) {
+        // fold the same multiset of worker blocks in two different
+        // orders (identity vs rotation) — the engine guarantee is that
+        // ANY completion order yields identical stats
+        let stats: Vec<ExecutionStats> = blocks.iter().map(|r| stats_from(r)).collect();
+        let fold = |xs: &[ExecutionStats]| {
+            let mut acc = ExecutionStats::default();
+            for s in xs {
+                acc.merge(s);
+            }
+            acc
+        };
+        let mut rotated = stats.clone();
+        rotated.rotate_left(rot % stats.len().max(1));
+        prop_assert_eq!(fold(&stats), fold(&rotated));
+    }
+
+    #[test]
+    fn default_is_merge_identity(
+        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+    ) {
+        let a = stats_from(&ra);
+        prop_assert_eq!(merged(&a, &ExecutionStats::default()), a);
+        prop_assert_eq!(merged(&ExecutionStats::default(), &a), a);
+    }
+}

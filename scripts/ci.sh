@@ -24,11 +24,22 @@ echo "=== MVM kernel differential suite ==="
 # cached fast path vs reference oracle, plus cache-invalidation fuzzing
 cargo test -q -p membit-xbar --test proptest_kernels
 
+echo "=== guard suite (stats merge algebra + checksum fuzzing) ==="
+cargo test -q -p membit-xbar --test proptest_stats
+cargo test -q -p membit-xbar --test proptest_kernels cached_kernel_never_masks_guard_violations
+
 echo "=== bench_engine smoke (BENCH_engine.json + BENCH_mvm.json) ==="
 # exercises both kernels and aborts on any cached/reference disagreement
 ./target/release/bench_engine --smoke
 test -s results/BENCH_engine.json
 test -s results/BENCH_mvm.json
+
+echo "=== ablation_guard smoke (BENCH_guard.json + ablation_guard.csv) ==="
+# asserts gap recovery, false-positive bound, determinism, and the
+# analytic checksum overhead accounting
+./target/release/ablation_guard --smoke
+test -s results/BENCH_guard.json
+test -s results/ablation_guard.csv
 
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings
