@@ -15,7 +15,7 @@ use membit_encoding::BitEncoder;
 use membit_nn::{Params, Vgg};
 use membit_tensor::{im2col_into, Conv2dGeometry, Rng, Tensor, TensorError};
 use membit_xbar::{
-    CellSide, CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy,
+    CellHealth, CellSide, CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy,
     RemapReport, XbarConfig,
 };
 
@@ -430,6 +430,61 @@ impl DeviceVgg {
         Ok(injected)
     }
 
+    /// Injects *persistent* stuck-at faults at the given per-cell `rate`
+    /// across every crossbar engine — the SAF (stuck-at-fault) scenario
+    /// of the non-ideality ablation. Unlike [`Self::inject_faults`],
+    /// whose conductance excursions a refresh cures, these pin the cell
+    /// health itself (see [`CrossbarLinear::inject_fault`]): only a march
+    /// test + remap pass ([`Self::remap_all`]) can route around them, and
+    /// cells the analog strategies cannot fix stay broken unless the SAF
+    /// error-correction arm compensates digitally. Returns the number
+    /// injected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection errors (coordinates are drawn in range, so
+    /// none are expected).
+    pub fn inject_stuck_faults(&mut self, rate: f32, rng: &mut Rng) -> Result<u64> {
+        let mut injected = 0u64;
+        for engine in self.engines_mut() {
+            let (out, inp) = engine.dims();
+            let count = ((out * inp) as f32 * rate).round() as usize;
+            for _ in 0..count {
+                let row = rng.below(inp);
+                let col = rng.below(out);
+                let side = if rng.coin(0.5) { CellSide::Pos } else { CellSide::Neg };
+                let health = if rng.coin(0.5) {
+                    CellHealth::StuckOn
+                } else {
+                    CellHealth::StuckOff
+                };
+                engine.inject_fault(row, col, side, health)?;
+                injected += 1;
+            }
+        }
+        Ok(injected)
+    }
+
+    /// Runs the full march-test + remap pipeline on every crossbar
+    /// engine under `policy` — the deployment-level repair pass after
+    /// in-service fault injection (deploy-time recovery runs
+    /// automatically via [`DeploymentPolicy::recovery`]). With
+    /// [`RecoveryPolicy::with_ecc`] the residual unrecoverable cells
+    /// additionally get per-tile SAF error-correction entries, which
+    /// every subsequent MVM applies digitally. Returns the merged
+    /// recovery outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates march-test / reprogramming errors.
+    pub fn remap_all(&mut self, policy: &RecoveryPolicy, rng: &mut Rng) -> Result<RemapReport> {
+        let mut report = RemapReport::default();
+        for engine in self.engines_mut() {
+            report.merge(&engine.remap(policy, rng)?);
+        }
+        Ok(report)
+    }
+
     /// Drift refreshes triggered by the health monitor over this
     /// deployment's lifetime.
     pub fn refreshes(&self) -> u64 {
@@ -716,6 +771,47 @@ mod tests {
         let (_, after) = device.forward(&images, &mut rng).unwrap();
         assert_eq!(after.guard.violations, 0, "{:?}", after.guard);
         assert_eq!(device.degraded_layers(), 0);
+    }
+
+    #[test]
+    fn stuck_faults_persist_and_saf_ecc_compensates() {
+        let (vgg, params) = tiny_vgg();
+        let mut rng = Rng::from_seed(23);
+        let mut xbar = XbarConfig::ideal();
+        xbar.noise.device.on_off_ratio = 20.0;
+        let cfg = DeviceEvalConfig {
+            xbar,
+            pulses: vec![8, 8, 8],
+            act_levels: 9,
+            policy: DeploymentPolicy::default(),
+        };
+        let mut device = DeviceVgg::deploy(&vgg, &params, &cfg, &mut rng).unwrap();
+        let images = quantize_tensor(
+            &Tensor::from_fn(&[2, 3, 8, 8], |i| ((i % 13) as f32 / 6.0 - 1.0).clamp(-1.0, 1.0)),
+            9,
+        );
+        let (clean, _) = device.forward(&images, &mut rng).unwrap();
+        // a heavy persistent burst: unlike upsets, refresh cannot cure it
+        let injected = device.inject_stuck_faults(0.05, &mut rng).unwrap();
+        assert!(injected > 0);
+        for engine in device.engines_mut() {
+            engine.refresh(&mut rng);
+        }
+        let (faulty, _) = device.forward(&images, &mut rng).unwrap();
+        let err_faulty = faulty.sub(&clean).unwrap().abs().max();
+        assert!(err_faulty > 0.05, "stuck faults must survive refresh: {err_faulty}");
+        // march + remap with the SAF error-correction arm
+        let report = device.remap_all(&RecoveryPolicy::with_ecc(), &mut rng).unwrap();
+        assert!(report.faults_detected > 0, "{report:?}");
+        let (fixed, stats) = device.forward(&images, &mut rng).unwrap();
+        let err_fixed = fixed.sub(&clean).unwrap().abs().max();
+        assert!(
+            err_fixed < err_faulty,
+            "repair must shrink the error: {err_faulty} → {err_fixed}"
+        );
+        if report.cells_corrected > 0 {
+            assert!(stats.guard.saf_corrections > 0, "{:?}", stats.guard);
+        }
     }
 
     #[test]

@@ -182,6 +182,157 @@ impl MvmNoiseHook for PlaHook {
     }
 }
 
+/// Variation-aware NIA hook: the functional noise of [`GaussianMvmNoise`]
+/// with per-pass *physical operating-condition* sampling layered on top.
+///
+/// Each forward pass draws an operating temperature uniformly from the
+/// configured range and an IR-drop severity uniformly from `[0, droop]`;
+/// every crossbar layer of that pass then sees
+///
+/// * its MVM output scaled by `1 − severity` (the mean attenuation a
+///   resistive wire network applies, see
+///   [`membit_xbar::NonIdealitySpec::attenuation`]), and
+/// * Gaussian noise with `σ_l/√p_l` scaled by `√(T/T_REF)` — the same
+///   Johnson-noise temperature law the device layer applies via
+///   [`membit_xbar::NonIdealitySpec::scaled_noise`].
+///
+/// Fine-tuning under this hook makes NIA *variation-aware*: the weights
+/// absorb not just one noise level but the whole envelope of deployment
+/// conditions, which is what the `ablation_nonideal` experiment measures.
+#[derive(Debug)]
+pub struct VariationAwareNoise {
+    sigma: Vec<f32>,
+    pulses: Vec<usize>,
+    /// Sampled operating-temperature range in kelvin.
+    temp_range: (f32, f32),
+    /// Maximum IR-drop output droop (fraction of signal lost at the
+    /// worst sampled severity).
+    droop: f32,
+    /// Condition profile for the current pass, resampled whenever
+    /// layer 0 comes around: (σ scale, output scale).
+    profile: (f32, f32),
+    rng: Rng,
+}
+
+impl VariationAwareNoise {
+    /// Creates the hook from per-layer per-pulse noise `σ_l`, pulse
+    /// counts `p_l`, a temperature range in kelvin, and a maximum
+    /// IR-drop droop fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on length mismatch, a
+    /// zero pulse count, a temperature range outside the device's rated
+    /// envelope (or inverted), or a droop outside `[0, 1)`.
+    pub fn new(
+        sigma: Vec<f32>,
+        pulses: Vec<usize>,
+        temp_range: (f32, f32),
+        droop: f32,
+        rng: Rng,
+    ) -> Result<Self> {
+        if sigma.len() != pulses.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "{} sigmas but {} pulse counts",
+                sigma.len(),
+                pulses.len()
+            ))
+            .into());
+        }
+        if pulses.contains(&0) {
+            return Err(
+                TensorError::InvalidArgument("pulse counts must be nonzero".into()).into(),
+            );
+        }
+        let (lo, hi) = temp_range;
+        if !(membit_xbar::T_MIN..=membit_xbar::T_MAX).contains(&lo) || !(lo..=membit_xbar::T_MAX).contains(&hi)
+        {
+            return Err(TensorError::InvalidArgument(format!(
+                "temperature range [{lo}, {hi}] K outside rated [{}, {}] K",
+                membit_xbar::T_MIN,
+                membit_xbar::T_MAX
+            ))
+            .into());
+        }
+        if !(0.0..1.0).contains(&droop) {
+            return Err(TensorError::InvalidArgument(format!(
+                "IR-drop droop {droop} outside [0, 1)"
+            ))
+            .into());
+        }
+        Ok(Self {
+            sigma,
+            pulses,
+            temp_range,
+            droop,
+            profile: (1.0, 1.0),
+            rng,
+        })
+    }
+
+    /// Uniform-pulse constructor: the same `σ` and `p` for all `layers`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn uniform(
+        layers: usize,
+        sigma: f32,
+        pulses: usize,
+        temp_range: (f32, f32),
+        droop: f32,
+        rng: Rng,
+    ) -> Result<Self> {
+        Self::new(
+            vec![sigma; layers],
+            vec![pulses; layers],
+            temp_range,
+            droop,
+            rng,
+        )
+    }
+
+    /// Samples a fresh operating-condition profile for one forward pass.
+    fn resample(&mut self) {
+        let kelvin = self.rng.uniform(self.temp_range.0, self.temp_range.1);
+        let sigma_scale = (kelvin / membit_xbar::T_REF).sqrt();
+        let out_scale = 1.0 - self.rng.uniform(0.0, self.droop);
+        self.profile = (sigma_scale, out_scale);
+    }
+}
+
+impl MvmNoiseHook for VariationAwareNoise {
+    fn apply(&mut self, tape: &mut Tape, layer: usize, mvm_out: VarId) -> NnResult<VarId> {
+        if layer == 0 {
+            // one condition profile per forward pass: all layers of a
+            // pass share the same chip temperature and supply droop
+            self.resample();
+        }
+        let (sigma_scale, out_scale) = self.profile;
+        let attenuated = if out_scale == 1.0 {
+            mvm_out
+        } else {
+            tape.mul_scalar(mvm_out, out_scale)
+        };
+        let std = self.sigma[layer] / (self.pulses[layer] as f32).sqrt() * sigma_scale;
+        if std == 0.0 {
+            return Ok(attenuated);
+        }
+        let shape = tape.value(attenuated).shape().to_vec();
+        let noise = self.rng.normal_tensor(&shape, 0.0, std);
+        let c = tape.constant(noise);
+        tape.add(attenuated, c)
+    }
+
+    fn state_rng(&self) -> Option<&Rng> {
+        Some(&self.rng)
+    }
+
+    fn state_rng_mut(&mut self) -> Option<&mut Rng> {
+        Some(&mut self.rng)
+    }
+}
+
 /// Fig. 2 hook: injects `N(0, σ²)` at exactly one crossbar layer, leaving
 /// all others clean — the paper's layer-wise sensitivity probe.
 #[derive(Debug)]
@@ -389,6 +540,54 @@ mod tests {
         let v = tape.value(y).item();
         assert!((v - 0.2).abs() < 1e-6, "snapped to {v}");
         assert_eq!(hook.avg_pulses(), 10.0);
+    }
+
+    #[test]
+    fn variation_aware_noise_scales_with_temperature() {
+        let rng = Rng::from_seed(7);
+        // degenerate range pinned at the hot end, no droop: the injected
+        // std must be exactly σ/√p · √(T/T_REF)
+        let hot = 390.0f32;
+        let mut hook =
+            VariationAwareNoise::uniform(1, 8.0, 8, (hot, hot), 0.0, rng).unwrap();
+        let (mut t, x) = setup(&[40_000]);
+        let y = hook.apply(&mut t, 0, x).unwrap();
+        let expect = 8.0 / 8f32.sqrt() * (hot / membit_xbar::T_REF).sqrt();
+        let s = t.value(y).std();
+        assert!((s - expect).abs() < 0.06, "std {s} vs {expect}");
+    }
+
+    #[test]
+    fn variation_aware_droop_attenuates_output() {
+        let rng = Rng::from_seed(8);
+        let t_ref = membit_xbar::T_REF;
+        let mut hook =
+            VariationAwareNoise::uniform(1, 0.0, 8, (t_ref, t_ref), 0.5, rng).unwrap();
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![2.0, -2.0], &[2]).unwrap());
+        let y = hook.apply(&mut tape, 0, x).unwrap();
+        let v = tape.value(y).as_slice().to_vec();
+        // severity ∈ (0, 0.5]: output strictly shrunk, sign preserved
+        assert!(v[0] < 2.0 && v[0] >= 1.0, "droop gave {v:?}");
+        assert!((v[0] + v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variation_aware_constructor_validates() {
+        let rng = Rng::from_seed(9);
+        // inverted and out-of-envelope temperature ranges
+        assert!(VariationAwareNoise::uniform(1, 1.0, 8, (390.0, 300.0), 0.1, rng.clone()).is_err());
+        assert!(VariationAwareNoise::uniform(1, 1.0, 8, (100.0, 300.0), 0.1, rng.clone()).is_err());
+        assert!(VariationAwareNoise::uniform(1, 1.0, 8, (300.0, 900.0), 0.1, rng.clone()).is_err());
+        // droop must stay a proper fraction
+        assert!(VariationAwareNoise::uniform(1, 1.0, 8, (300.0, 330.0), 1.0, rng.clone()).is_err());
+        assert!(VariationAwareNoise::uniform(1, 1.0, 8, (300.0, 330.0), -0.1, rng.clone()).is_err());
+        // mismatched layer vectors and zero pulses, as for the Gaussian hook
+        assert!(
+            VariationAwareNoise::new(vec![1.0], vec![8, 8], (300.0, 330.0), 0.1, rng.clone())
+                .is_err()
+        );
+        assert!(VariationAwareNoise::new(vec![1.0], vec![0], (300.0, 330.0), 0.1, rng).is_err());
     }
 
     #[test]

@@ -74,12 +74,18 @@ pub use calibrate::{calibrate_noise, NoiseCalibration};
 pub use device_eval::{DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 pub use error::{DivergenceReason, TrainError};
 pub use gbo::{GboConfig, GboResult, GboTrainer};
-pub use hooks::{GaussianMvmNoise, NanFault, NanFaultMode, PlaHook, RmsRecorder, SingleLayerNoise};
+pub use hooks::{
+    GaussianMvmNoise, NanFault, NanFaultMode, PlaHook, RmsRecorder, SingleLayerNoise,
+    VariationAwareNoise,
+};
 pub use model::CrossbarModel;
-pub use nia::{nia_finetune, nia_finetune_resilient, NiaConfig};
+pub use nia::{
+    nia_finetune, nia_finetune_resilient, nia_finetune_variation_aware, NiaConfig, NiaVariation,
+};
 pub use pipeline::{Experiment, ExperimentConfig};
 pub use report::{
-    markdown_table, write_csv, FaultAblationRow, GuardAblationRow, Table1Row, Table2Row,
+    markdown_table, write_csv, FaultAblationRow, GuardAblationRow, NonIdealAblationRow, Table1Row,
+    Table2Row,
 };
 pub use resilience::ResilienceConfig;
 pub use sensitivity::layer_sensitivity;

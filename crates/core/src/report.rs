@@ -152,6 +152,97 @@ impl GuardAblationRow {
     }
 }
 
+/// One row of the physical non-ideality ablation: accuracy and recovery
+/// telemetry of a deployment under one (scenario, mitigation) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonIdealAblationRow {
+    /// Scenario label (`baseline`, `ir_drop`, `hot`, `saf`, `combined`).
+    pub scenario: String,
+    /// Mitigation stack label (`none`, `guard`, `full`).
+    pub mitigation: String,
+    /// Operating temperature of the scenario in kelvin.
+    pub temperature_k: f32,
+    /// Classification accuracy in percent.
+    pub accuracy: f32,
+    /// Checksum comparisons performed.
+    pub checks: u64,
+    /// Checksum violations detected.
+    pub violations: u64,
+    /// Stage-2 targeted tile refreshes.
+    pub tile_refreshes: u64,
+    /// Stage-3 march-test + remap repairs.
+    pub tile_remaps: u64,
+    /// Stage-4 digital-fallback demotions.
+    pub fallbacks: u64,
+    /// Digital SAF error corrections applied during execution.
+    pub saf_corrections: u64,
+    /// Unrecoverable cells carrying an ECC correction entry.
+    pub cells_corrected: u64,
+    /// Cells still faulty after the full recovery pipeline.
+    pub unrecoverable_cells: u64,
+}
+
+impl NonIdealAblationRow {
+    /// CSV header matching [`NonIdealAblationRow::to_record`].
+    pub const CSV_HEADER: [&'static str; 12] = [
+        "scenario",
+        "mitigation",
+        "temperature_k",
+        "accuracy_pct",
+        "checks",
+        "violations",
+        "tile_refreshes",
+        "tile_remaps",
+        "fallbacks",
+        "saf_corrections",
+        "cells_corrected",
+        "unrecoverable_cells",
+    ];
+
+    /// Renders the row as CSV fields in [`Self::CSV_HEADER`] order.
+    pub fn to_record(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            self.mitigation.clone(),
+            format!("{}", self.temperature_k),
+            format!("{:.2}", self.accuracy),
+            self.checks.to_string(),
+            self.violations.to_string(),
+            self.tile_refreshes.to_string(),
+            self.tile_remaps.to_string(),
+            self.fallbacks.to_string(),
+            self.saf_corrections.to_string(),
+            self.cells_corrected.to_string(),
+            self.unrecoverable_cells.to_string(),
+        ]
+    }
+
+    /// Builds a row from guard telemetry plus the recovery outcome.
+    pub fn from_stats(
+        scenario: impl Into<String>,
+        mitigation: impl Into<String>,
+        temperature_k: f32,
+        accuracy: f32,
+        stats: &membit_xbar::ExecutionStats,
+        cells_corrected: u64,
+    ) -> Self {
+        Self {
+            scenario: scenario.into(),
+            mitigation: mitigation.into(),
+            temperature_k,
+            accuracy,
+            checks: stats.guard.checks,
+            violations: stats.guard.violations,
+            tile_refreshes: stats.guard.tile_refreshes,
+            tile_remaps: stats.guard.tile_remaps,
+            fallbacks: stats.guard.fallbacks,
+            saf_corrections: stats.guard.saf_corrections,
+            cells_corrected,
+            unrecoverable_cells: stats.unrecoverable_cells,
+        }
+    }
+}
+
 impl FaultAblationRow {
     /// CSV header matching [`FaultAblationRow::to_record`].
     pub const CSV_HEADER: [&'static str; 8] = [
@@ -273,6 +364,7 @@ mod tests {
             tile_refreshes: 3,
             tile_remaps: 2,
             fallbacks: 1,
+            saf_corrections: 0,
             degraded_layers: 1,
         };
         let row = GuardAblationRow::from_stats("guarded", 0.01, 0.1, 68.5, &guard);
@@ -281,6 +373,34 @@ mod tests {
         assert_eq!(rec[0], "guarded");
         assert_eq!(rec[4], "1000");
         assert_eq!(rec[11], "1");
+    }
+
+    #[test]
+    fn nonideal_row_record_matches_header() {
+        let stats = membit_xbar::ExecutionStats {
+            unrecoverable_cells: 4,
+            guard: membit_xbar::GuardStats {
+                checks: 200,
+                violations: 3,
+                retries: 6,
+                retry_successes: 2,
+                tile_refreshes: 1,
+                tile_remaps: 1,
+                fallbacks: 0,
+                saf_corrections: 57,
+                degraded_layers: 0,
+            },
+            ..Default::default()
+        };
+        let row =
+            NonIdealAblationRow::from_stats("saf", "full", 300.0, 74.5, &stats, 4);
+        let rec = row.to_record();
+        assert_eq!(rec.len(), NonIdealAblationRow::CSV_HEADER.len());
+        assert_eq!(rec[0], "saf");
+        assert_eq!(rec[1], "full");
+        assert_eq!(rec[9], "57");
+        assert_eq!(rec[10], "4");
+        assert_eq!(rec[11], "4");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::adc::Adc;
 use crate::energy::ExecutionStats;
 use crate::guard::{GuardPolicy, GUARD_STREAM_TAG, RETRY_STREAM_TAG};
 use crate::noise::NoiseSpec;
+use crate::nonideal::NonIdealitySpec;
 use crate::program::{ProgramStats, WriteVerify};
 use crate::remap::{remap_tile, RecoveryPolicy, RemapReport};
 use crate::tile::{MvmKernel, Tile};
@@ -114,6 +115,14 @@ pub struct XbarConfig {
     /// default in every preset) leaves execution byte-for-byte identical
     /// to an unguarded deployment.
     pub guard: Option<GuardPolicy>,
+    /// Physical non-ideality layer: wire-resistance IR drop and
+    /// operating temperature. [`CrossbarLinear::program`] resolves this
+    /// spec once — folding the attenuation map into every tile's weight
+    /// cache and storing the temperature-scaled [`NoiseSpec`] — so the
+    /// guard tolerance, refresh targets, and march tests all see the
+    /// same scaled device. [`NonIdealitySpec::ideal`] (the default in
+    /// every preset) reproduces the unscaled engine bit-for-bit.
+    pub nonideal: NonIdealitySpec,
 }
 
 impl XbarConfig {
@@ -128,6 +137,7 @@ impl XbarConfig {
             write_verify: None,
             exec: ExecOptions::default(),
             guard: None,
+            nonideal: NonIdealitySpec::ideal(),
         }
     }
 
@@ -151,12 +161,19 @@ impl XbarConfig {
             write_verify: Some(WriteVerify::standard()),
             exec: ExecOptions::default(),
             guard: None,
+            nonideal: NonIdealitySpec::ideal(),
         }
     }
 
     /// This configuration with checksum-guarded execution enabled.
     pub fn with_guard(mut self, guard: GuardPolicy) -> Self {
         self.guard = Some(guard);
+        self
+    }
+
+    /// This configuration with the given physical non-ideality layer.
+    pub fn with_nonideal(mut self, nonideal: NonIdealitySpec) -> Self {
+        self.nonideal = nonideal;
         self
     }
 
@@ -183,6 +200,7 @@ impl XbarConfig {
             guard.validate()?;
         }
         self.exec.validate()?;
+        self.nonideal.validate()?;
         self.noise.validate()
     }
 }
@@ -229,6 +247,17 @@ impl CrossbarLinear {
             });
         }
         config.validate()?;
+        // Resolve the physical non-ideality layer once, up front: the
+        // stored config carries the temperature-scaled noise spec, so
+        // tile programming, refresh targets, march tests, and the guard
+        // tolerance all agree on the same scaled device. The IR-drop
+        // attenuation map is folded into each tile's weight cache below.
+        let resolved = {
+            let mut resolved = *config;
+            resolved.noise = config.nonideal.scaled_noise(&config.noise);
+            resolved
+        };
+        let config = &resolved;
         let (out_features, in_features) = (w.shape()[0], w.shape()[1]);
         let wt = w.transpose()?; // [in, out]: rows = wordlines
         let row_starts: Vec<usize> = (0..in_features).step_by(config.tile_rows).collect();
@@ -258,13 +287,25 @@ impl CrossbarLinear {
                     }
                 }
                 let mut trng = base.substream(&[ri as u64, ci as u64]);
-                *slot = Some(match &config.write_verify {
+                let mut result = match &config.write_verify {
                     Some(policy) => {
                         Tile::program_verified(&sub, &config.noise.device, policy, &mut trng)
                     }
                     None => Tile::program(&sub, &config.noise.device, &mut trng)
                         .map(|tile| (tile, ProgramStats::default())),
-                });
+                };
+                if let Ok((tile, _)) = &mut result {
+                    // deterministic (geometry-only), so safe to apply
+                    // inside the thread fan-out
+                    if let Some(map) =
+                        config
+                            .nonideal
+                            .attenuation_map(rows, cols, config.noise.device.g_on)
+                    {
+                        tile.scale_attenuation(&map);
+                    }
+                }
+                *slot = Some(result);
             }
         });
 
@@ -713,6 +754,19 @@ impl CrossbarLinear {
                             }
                         }
                     }
+                    if tile.has_saf_correction() {
+                        // digital SAF/ECC rung: patch the accepted readout
+                        // with the known stuck-cell deltas (deterministic,
+                        // no RNG — the noise sequence is untouched)
+                        for s in 0..nb {
+                            let xoff = s * self.in_features + r0;
+                            let x = &xs[xoff..xoff + trows];
+                            let fixed = tile
+                                .apply_saf_correction(x, &mut out[s * tcols..(s + 1) * tcols]);
+                            stats.guard.saf_corrections =
+                                stats.guard.saf_corrections.saturating_add(fixed);
+                        }
+                    }
                     for (orow, arow) in out
                         .chunks_exact(tcols)
                         .zip(ablock.chunks_exact_mut(self.out_features))
@@ -810,6 +864,11 @@ impl CrossbarLinear {
                                 viol[ri * nct + ci] = viol[ri * nct + ci].saturating_add(1);
                             }
                         }
+                        if tile.has_saf_correction() {
+                            let fixed = tile.apply_saf_correction(x_at(pi), out);
+                            stats.guard.saf_corrections =
+                                stats.guard.saf_corrections.saturating_add(fixed);
+                        }
                         // unit pulse weights by the nested-unary invariant
                         for (a, &v) in ablock[arow_start..arow_start + tcols]
                             .iter_mut()
@@ -830,8 +889,11 @@ impl CrossbarLinear {
     }
 
     /// Ages every tile by `hours` of retention drift (see
-    /// [`Tile::age`]).
+    /// [`Tile::age`]). The drift rate `nu` is Arrhenius-accelerated by
+    /// the configured operating temperature
+    /// ([`NonIdealitySpec::drift_scale`]).
     pub fn age(&mut self, hours: f32, nu: f32, nu_sigma: f32, rng: &mut Rng) {
+        let nu = nu * self.config.nonideal.drift_scale();
         for row in &mut self.tiles {
             for tile in row {
                 tile.age(hours, nu, nu_sigma, rng);
@@ -1513,6 +1575,144 @@ mod tests {
         assert_eq!(stats.guard.tile_remaps, 0);
         assert_eq!(stats.guard.fallbacks, 0, "{:?}", stats.guard);
         assert!(!xbar.is_degraded());
+    }
+
+    #[test]
+    fn ir_drop_attenuates_output_and_kernels_agree_bitwise() {
+        // physical wire model: outputs shrink relative to ideal wiring,
+        // and the attenuation map lives in the weight cache, so Cached
+        // and Reference kernels stay bitwise identical
+        let mut cfg = XbarConfig::functional(0.2);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        cfg.noise.device.c2c_sigma = 0.02;
+        cfg.noise.device.on_off_ratio = 20.0;
+        // exaggerated wire resistance so the droop dominates the noise
+        let nonideal = crate::NonIdealitySpec {
+            gwire: 2e4,
+            ..crate::NonIdealitySpec::realistic()
+        };
+        let w = random_pm1(&[12, 24], 70);
+        let (cached, reference) = kernel_pair(cfg.with_nonideal(nonideal), &w, 71);
+        let x = random_pm1(&[3, 24], 72);
+        let train = BitSlicing::new(4).unwrap().encode_tensor(&x).unwrap();
+        let y_fast = cached.execute(&train, &mut Rng::from_seed(73)).unwrap();
+        let y_ref = reference.execute(&train, &mut Rng::from_seed(73)).unwrap();
+        assert_eq!(y_fast.as_slice(), y_ref.as_slice());
+        // thermometer trains exercise the delta schedule too
+        let t2 = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let d_fast = cached.execute(&t2, &mut Rng::from_seed(74)).unwrap();
+        let d_ref = reference.execute(&t2, &mut Rng::from_seed(74)).unwrap();
+        assert!(d_fast.allclose(&d_ref, 1e-4));
+        // the droop is real: mean |y| under IR drop < ideal wiring
+        let ideal = CrossbarLinear::program(&w, &cfg, &mut Rng::from_seed(71)).unwrap();
+        let y_ideal = ideal.execute(&train, &mut Rng::from_seed(73)).unwrap();
+        let mean_abs = |t: &Tensor| t.as_slice().iter().map(|v| v.abs()).sum::<f32>();
+        assert!(
+            mean_abs(&y_fast) < 0.97 * mean_abs(&y_ideal),
+            "IR drop must shrink outputs: {} vs {}",
+            mean_abs(&y_fast),
+            mean_abs(&y_ideal)
+        );
+    }
+
+    #[test]
+    fn hot_deployment_widens_guard_tolerance_and_stays_silent() {
+        // at 390 K the physical σ grows by √(T/T_REF); the guard reads
+        // the resolved (scaled) noise spec, so the 6σ ladder stays quiet
+        // on a healthy array instead of false-escalating
+        let mut cfg = XbarConfig::functional(0.25).with_guard(crate::GuardPolicy::standard());
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        cfg.noise.device.c2c_sigma = 0.03;
+        cfg.noise.device.on_off_ratio = 20.0;
+        cfg.nonideal = crate::NonIdealitySpec::ideal().at_temperature(390.0);
+        let w = random_pm1(&[12, 24], 75);
+        let x = random_pm1(&[6, 24], 76);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let mut rng = Rng::from_seed(77);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        // the stored config carries the resolved thermal scaling
+        let resolved = xbar.config().noise;
+        assert!(resolved.output_sigma > cfg.noise.output_sigma);
+        assert!(resolved.device.c2c_sigma > cfg.noise.device.c2c_sigma);
+        assert!(resolved.device.on_off_ratio < cfg.noise.device.on_off_ratio);
+        let (_, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.checks > 0);
+        assert_eq!(
+            stats.guard.violations, 0,
+            "healthy hot array must not trip the scaled 6σ tolerance"
+        );
+        assert!(!xbar.is_degraded());
+    }
+
+    #[test]
+    fn guard_refresh_restores_scaled_targets_after_hot_upset() {
+        // regression for the refresh/temperature interaction: the ladder
+        // cures a rail excursion at 390 K only if refresh programs the
+        // temperature-scaled targets the checksum reference was armed
+        // against — nominal 300 K levels would keep violating forever
+        let mut cfg = XbarConfig::functional(0.02).with_guard(crate::GuardPolicy::standard());
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        cfg.noise.device.on_off_ratio = 20.0;
+        cfg.nonideal = crate::NonIdealitySpec::ideal().at_temperature(390.0);
+        let w = random_pm1(&[12, 16], 94);
+        let x = random_pm1(&[4, 16], 95);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let mut rng = Rng::from_seed(96);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        for k in 0..6 {
+            xbar.upset_cell(k, (2 * k + 1) % 12, CellSide::Pos, k % 2 == 0)
+                .unwrap();
+        }
+        let (_, stats) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert!(stats.guard.violations > 0, "{:?}", stats.guard);
+        assert!(stats.guard.tile_refreshes > 0, "{:?}", stats.guard);
+        assert_eq!(stats.guard.tile_remaps, 0, "{:?}", stats.guard);
+        assert_eq!(stats.guard.fallbacks, 0, "{:?}", stats.guard);
+        // the cured array satisfies the original (scaled) reference again
+        let (_, s2) = xbar.execute_guarded(&train, &mut rng).unwrap();
+        assert_eq!(s2.guard.violations, 0, "{:?}", s2.guard);
+    }
+
+    #[test]
+    fn saf_ecc_rung_compensates_unrecoverable_cells() {
+        let mut cfg = XbarConfig::ideal();
+        cfg.tile_rows = 8;
+        cfg.tile_cols = 8;
+        cfg.noise.device.on_off_ratio = 20.0;
+        let w = random_pm1(&[10, 12], 80);
+        let x = random_pm1(&[4, 12], 81);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        let expect = train.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        let mut rng = Rng::from_seed(82);
+        let mut xbar = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        // double-stuck pairs: unrecoverable by every analog strategy
+        for k in 0..4 {
+            xbar.inject_fault(2 * k, k, CellSide::Pos, CellHealth::StuckOn).unwrap();
+            xbar.inject_fault(2 * k, k, CellSide::Neg, CellHealth::StuckOn).unwrap();
+        }
+        let before = xbar
+            .execute(&train, &mut rng)
+            .unwrap()
+            .sub(&expect)
+            .unwrap()
+            .abs()
+            .max();
+        assert!(before > 0.5, "fixture must corrupt the output: {before}");
+        let report = xbar.remap(&RecoveryPolicy::with_ecc(), &mut rng).unwrap();
+        assert!(report.unrecoverable_cells > 0, "{report:?}");
+        assert!(report.cells_corrected > 0, "{report:?}");
+        // corrected execution tracks the digital product on both paths
+        let (y, stats) = xbar.execute_with_stats(&train, &mut rng).unwrap();
+        assert!(stats.guard.saf_corrections > 0);
+        assert!(y.allclose(&expect, 1e-3), "{y:?} vs {expect:?}");
+        let t2 = BitSlicing::new(4).unwrap().encode_tensor(&x).unwrap();
+        let e2 = t2.decode().unwrap().matmul(&w.transpose().unwrap()).unwrap();
+        let (y2, s2) = xbar.execute_with_stats(&t2, &mut rng).unwrap();
+        assert!(s2.guard.saf_corrections > 0);
+        assert!(y2.allclose(&e2, 1e-3), "{y2:?} vs {e2:?}");
     }
 
     #[test]

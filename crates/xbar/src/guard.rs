@@ -135,6 +135,13 @@ impl GuardPolicy {
     /// each carry `σ_out²` of functional noise and `step²/12` of
     /// quantization variance; cycle-to-cycle noise contributes
     /// `(σ_c2c/(G_on−G_off))²·var_term` on each side of the comparison.
+    ///
+    /// Operating temperature needs no extra term: the engine resolves
+    /// the [`NonIdealitySpec`](crate::NonIdealitySpec) at program time
+    /// and stores the scaled noise model, so the `σ_out` and `σ_c2c`
+    /// passed here already carry the `√(T/T_REF)` thermal scaling — the
+    /// tolerance widens with temperature exactly as the physical spread
+    /// does, keeping the false-positive rate at its rated ~zero.
     pub fn tolerance(
         &self,
         noise: &NoiseSpec,
@@ -204,6 +211,9 @@ pub struct GuardStats {
     pub tile_remaps: u64,
     /// Executions served by the digital fallback path (stage 4).
     pub fallbacks: u64,
+    /// Digital SAF/ECC corrections applied to accepted readouts (one per
+    /// driven correction entry per pulse per sample).
+    pub saf_corrections: u64,
     /// Layers currently degraded to the digital fallback. Set-once
     /// deployment state, not a per-batch event: populated per evaluation,
     /// merged with max-semantics.
@@ -222,6 +232,7 @@ impl GuardStats {
         self.tile_refreshes = self.tile_refreshes.saturating_add(other.tile_refreshes);
         self.tile_remaps = self.tile_remaps.saturating_add(other.tile_remaps);
         self.fallbacks = self.fallbacks.saturating_add(other.fallbacks);
+        self.saf_corrections = self.saf_corrections.saturating_add(other.saf_corrections);
         self.degraded_layers = self.degraded_layers.max(other.degraded_layers);
     }
 
@@ -332,6 +343,7 @@ mod tests {
             tile_refreshes: 1,
             tile_remaps: 1,
             fallbacks: 1,
+            saf_corrections: 4,
             degraded_layers: 2,
         };
         let b = GuardStats {

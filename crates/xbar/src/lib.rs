@@ -59,6 +59,7 @@ mod engine;
 mod fault;
 mod guard;
 mod noise;
+mod nonideal;
 mod program;
 mod remap;
 mod tile;
@@ -70,6 +71,7 @@ pub use engine::{CrossbarLinear, ExecOptions, XbarConfig};
 pub use guard::{GuardPolicy, GuardStats};
 pub use fault::{CellFault, CellSide, FaultMap, HealthMonitor, MarchTestConfig};
 pub use noise::NoiseSpec;
+pub use nonideal::{NonIdealitySpec, T_MAX, T_MIN, T_REF};
 pub use program::{
     program_cell_verified, program_cell_verified_with_health, ProgramStats, WriteVerify,
 };

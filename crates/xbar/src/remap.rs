@@ -47,6 +47,13 @@ pub struct RecoveryPolicy {
     /// Escalated write-verify for cells still flagged after remapping;
     /// `None` skips the stage.
     pub escalation: Option<WriteVerify>,
+    /// Enable the digital SAF/ECC arm: after every analog strategy runs,
+    /// build a per-tile correction table from the residual march
+    /// read-backs ([`Tile::build_saf_correction`]) so the engine patches
+    /// the remaining stuck-cell error out of each accepted readout.
+    /// Residual cells stay counted as unrecoverable — the correction is
+    /// digital compensation, not a hardware repair.
+    pub saf_ecc: bool,
 }
 
 impl RecoveryPolicy {
@@ -62,6 +69,15 @@ impl RecoveryPolicy {
                 tolerance: 0.02,
                 max_attempts: 32,
             }),
+            saf_ecc: false,
+        }
+    }
+
+    /// [`standard`](Self::standard) plus the digital SAF/ECC arm.
+    pub fn with_ecc() -> Self {
+        Self {
+            saf_ecc: true,
+            ..Self::standard()
         }
     }
 
@@ -74,6 +90,7 @@ impl RecoveryPolicy {
             spare_rows: 0,
             spare_cols: 0,
             escalation: None,
+            saf_ecc: false,
         }
     }
 
@@ -114,6 +131,9 @@ pub struct RemapReport {
     pub unrecoverable_cells: u64,
     /// Tiles left with at least one unrecoverable cell.
     pub degraded_tiles: u64,
+    /// Differential pairs covered by installed SAF/ECC correction
+    /// entries (digital compensation of otherwise unrecoverable cells).
+    pub cells_corrected: u64,
     /// Write pulses charged by escalation.
     pub program: ProgramStats,
 }
@@ -130,6 +150,7 @@ impl RemapReport {
         self.cells_recovered += other.cells_recovered;
         self.unrecoverable_cells += other.unrecoverable_cells;
         self.degraded_tiles += other.degraded_tiles;
+        self.cells_corrected += other.cells_corrected;
         self.program.merge(&other.program);
     }
 
@@ -165,6 +186,9 @@ pub fn remap_tile(tile: &mut Tile, policy: &RecoveryPolicy, rng: &mut Rng) -> Re
         tiles: 1,
         ..Default::default()
     };
+    // any previously installed correction table describes a pre-repair
+    // array; rebuilt below from the fresh residual when the arm is on
+    tile.clear_saf_correction();
     let initial = tile.march_test(&policy.march, rng)?;
     report.faults_detected = initial.len() as u64;
     if initial.is_empty() {
@@ -269,6 +293,14 @@ pub fn remap_tile(tile: &mut Tile, policy: &RecoveryPolicy, rng: &mut Rng) -> Re
     report.cells_recovered = report
         .faults_detected
         .saturating_sub(report.unrecoverable_cells);
+    if policy.saf_ecc && !residual.is_empty() {
+        // the digital last rung: compensate whatever the analog ladder
+        // could not cure. The residual still counts as unrecoverable —
+        // ECC patches readouts, it does not repair hardware.
+        let entries = tile.build_saf_correction(&residual);
+        report.cells_corrected = entries.len() as u64;
+        tile.set_saf_correction(entries);
+    }
     Ok(report)
 }
 
@@ -394,6 +426,7 @@ mod tests {
             cells_recovered: 3,
             unrecoverable_cells: 1,
             degraded_tiles: 1,
+            cells_corrected: 1,
             program: ProgramStats {
                 cells: 2,
                 write_pulses: 9,
@@ -404,8 +437,39 @@ mod tests {
         assert_eq!(a.tiles, 2);
         assert_eq!(a.faults_detected, 8);
         assert_eq!(a.cells_recovered, 6);
+        assert_eq!(a.cells_corrected, 2);
         assert_eq!(a.program.write_pulses, 18);
         assert!((a.recovery_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saf_ecc_compensates_double_stuck_pairs() {
+        // every cell stuck ON: the analog ladder cannot cure the −1
+        // weights (a pair pinned to one level reads 0 either polarity),
+        // but the digital ECC arm rebuilds their contribution exactly
+        let mut rng = Rng::from_seed(12);
+        let w = pm1(&[4, 4], 13);
+        let mut tile = Tile::program(&w, &faulty_device(1.0, 0.0), &mut rng).unwrap();
+        let report = remap_tile(&mut tile, &RecoveryPolicy::with_ecc(), &mut rng).unwrap();
+        assert!(report.unrecoverable_cells > 0, "fixture must defeat the ladder");
+        assert!(report.cells_corrected > 0);
+        assert!(tile.has_saf_correction());
+        // a corrected noise-free MVM reproduces the logical product
+        let x = [1.0f32, -1.0, 1.0, -1.0];
+        let mut out = [0.0f32; 4];
+        tile.mvm(&x, &crate::NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        tile.apply_saf_correction(&x, &mut out);
+        for (col, &got) in out.iter().enumerate() {
+            let clean: f32 = (0..4).map(|row| x[row] * tile.logical_weight(row, col)).sum();
+            assert!(
+                (got - clean).abs() < 1e-4,
+                "col {col}: corrected {got} vs logical {clean}"
+            );
+        }
+        // without the arm, standard() leaves the table empty
+        let mut tile2 = Tile::program(&w, &faulty_device(1.0, 0.0), &mut rng).unwrap();
+        remap_tile(&mut tile2, &RecoveryPolicy::standard(), &mut rng).unwrap();
+        assert!(!tile2.has_saf_correction());
     }
 
     #[test]

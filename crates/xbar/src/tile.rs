@@ -115,6 +115,15 @@ pub struct Tile {
     cache: WeightCache,
     /// ABFT checksum snapshot; `None` until the engine arms the tile.
     guard: Option<GuardColumn>,
+    /// Digital SAF/ECC correction table: `(row, col, delta)` entries the
+    /// engine adds as `x[row]·delta` to column `col` of every accepted
+    /// readout. Built by the remapper from march-test read-backs of
+    /// *residual* stuck cells (the ones the analog ladder could not
+    /// cure); empty when the correction arm is off. Cleared by
+    /// [`inject_fault`](Self::inject_fault) /
+    /// [`upset_cell`](Self::upset_cell): a new fault invalidates the
+    /// measured deltas.
+    saf: Vec<(usize, usize, f32)>,
 }
 
 impl Tile {
@@ -228,7 +237,32 @@ impl Tile {
                 col_sq: vec![0.0; cols],
             },
             guard: None,
+            saf: Vec::new(),
         })
+    }
+
+    /// Folds a per-cell attenuation map (row-major, from
+    /// [`NonIdealitySpec::attenuation_map`](crate::NonIdealitySpec::attenuation_map))
+    /// into the tile, multiplying element-wise with whatever first-order
+    /// [`DeviceModel::ir_drop_alpha`] attenuation the tile already
+    /// carries, and rebuilds the weight cache — so Reference and Cached
+    /// kernels keep agreeing bitwise. Called by the engine at program
+    /// time, before any guard is armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not have one entry per cell (engine-internal
+    /// misuse, not a user input).
+    pub(crate) fn scale_attenuation(&mut self, map: &[f32]) {
+        assert_eq!(
+            map.len(),
+            self.rows * self.cols,
+            "attenuation map must cover every cell"
+        );
+        for (a, &m) in self.attenuation.iter_mut().zip(map) {
+            *a *= m;
+        }
+        self.rebuild_cache();
     }
 
     /// Recomputes the whole [`WeightCache`] from the current conductances.
@@ -975,6 +1009,9 @@ impl Tile {
             }
         }
         self.rebuild_cache_col(col);
+        // measured correction deltas predate the mutation; applying them
+        // to the new physical state would inject wrong output
+        self.saf.clear();
         Ok(())
     }
 
@@ -1005,7 +1042,92 @@ impl Tile {
             CellSide::Neg => self.g_neg[idx] = g,
         }
         self.rebuild_cache_col(col);
+        // same invalidation as inject_fault: the excursion changes the
+        // physical state the deltas were measured against
+        self.saf.clear();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // SAF error correction (digital ECC over residual stuck cells)
+    // ------------------------------------------------------------------
+
+    /// Whether a SAF correction table is installed.
+    pub fn has_saf_correction(&self) -> bool {
+        !self.saf.is_empty()
+    }
+
+    /// Installs a SAF correction table (see
+    /// [`build_saf_correction`](Self::build_saf_correction)).
+    pub fn set_saf_correction(&mut self, entries: Vec<(usize, usize, f32)>) {
+        self.saf = entries;
+    }
+
+    /// Removes any installed SAF correction table.
+    pub fn clear_saf_correction(&mut self) {
+        self.saf.clear();
+    }
+
+    /// Applies the installed correction table to one readout: adds
+    /// `x[row]·delta` to `out[col]` for every entry whose row is driven.
+    /// Purely digital and deterministic — no RNG draws, so the analog
+    /// noise sequence is untouched. Returns the number of corrections
+    /// applied.
+    pub fn apply_saf_correction(&self, x: &[f32], out: &mut [f32]) -> u64 {
+        let mut applied = 0u64;
+        for &(row, col, delta) in &self.saf {
+            let xi = x[row];
+            if xi != 0.0 {
+                out[col] += xi * delta;
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Builds a correction table from the march-test read-backs of
+    /// `residual` faults — the stuck cells the analog remap ladder could
+    /// not cure. For each flagged pair the *measured* effective weight is
+    /// estimated from the flagged side's conductance estimate (the
+    /// unflagged side is assumed at its target), and the entry's delta is
+    /// what a digital adder must contribute to restore the attenuated
+    /// logical weight:
+    /// `delta = logical·att − sign·(ĝ⁺ − ĝ⁻)·att/(G_on − G_off)`.
+    ///
+    /// Uses only observable read-backs (never ground-truth health), so
+    /// correction fidelity is bounded by march-test estimation noise —
+    /// exactly like every other recovery arm.
+    pub fn build_saf_correction(&self, residual: &FaultMap) -> Vec<(usize, usize, f32)> {
+        let denom = self.device.g_on - self.device.g_off();
+        // group the flagged sides per differential pair:
+        // ((row, col), ĝ⁺ if flagged, ĝ⁻ if flagged)
+        type PairEstimate = ((usize, usize), Option<f32>, Option<f32>);
+        let mut est: Vec<PairEstimate> = Vec::new();
+        for f in residual.faults() {
+            let slot = match est.iter_mut().find(|(rc, _, _)| *rc == (f.row, f.col)) {
+                Some(slot) => slot,
+                None => {
+                    est.push(((f.row, f.col), None, None));
+                    est.last_mut().expect("just pushed")
+                }
+            };
+            match f.side {
+                CellSide::Pos => slot.1 = Some(f.g_est),
+                CellSide::Neg => slot.2 = Some(f.g_est),
+            }
+        }
+        est.iter()
+            .map(|&((row, col), pos_est, neg_est)| {
+                let idx = row * self.cols + col;
+                let (pos_on, neg_on) = self.pair_targets(idx, col);
+                let target = |on: bool| if on { self.device.g_on } else { self.device.g_off() };
+                let gp = pos_est.unwrap_or_else(|| target(pos_on));
+                let gn = neg_est.unwrap_or_else(|| target(neg_on));
+                let att = self.attenuation[idx];
+                let measured = self.col_sign[col] * (gp - gn) * att / denom;
+                (row, col, self.logical[idx] * att - measured)
+            })
+            .collect()
     }
 }
 
@@ -1424,6 +1546,9 @@ mod tests {
             assert_eq!(a, b, "stale cache after {what}");
         };
         check(&tile, "program");
+        let map: Vec<f32> = (0..6).map(|i| 1.0 - 0.02 * i as f32).collect();
+        tile.scale_attenuation(&map);
+        check(&tile, "scale_attenuation");
         tile.age(500.0, 0.05, 0.01, &mut rng);
         check(&tile, "age");
         tile.flip_column(1, &mut rng).unwrap();
@@ -1570,6 +1695,72 @@ mod tests {
             .unwrap();
         let sum2: f32 = out.iter().sum();
         assert!((chk2 - sum2).abs() > 0.5, "refresh must not absorb the fault");
+    }
+
+    #[test]
+    fn refresh_restores_temperature_scaled_targets() {
+        // regression: at elevated temperature the resolved device model
+        // carries a thermally degraded on/off ratio; refresh must program
+        // cells back to *that* device's targets, not the nominal 300 K
+        // levels, or every refreshed weight picks up a systematic bias
+        use crate::nonideal::NonIdealitySpec;
+        let hot = NonIdealitySpec::ideal().at_temperature(390.0);
+        let mut base = NoiseSpec::none();
+        base.device.on_off_ratio = 20.0;
+        let scaled = hot.scaled_noise(&base);
+        assert!(scaled.device.g_off() > base.device.g_off());
+        let mut rng = Rng::from_seed(14);
+        let mut tile = Tile::program(&weights(), &scaled.device, &mut rng).unwrap();
+        let before = tile.effective_weight(0, 1);
+        assert_eq!(before, -1.0); // exact under the scaled denom
+        tile.upset_cell(0, 1, CellSide::Pos, true).unwrap();
+        assert_ne!(tile.effective_weight(0, 1), before);
+        let mut stats = ProgramStats::default();
+        tile.refresh(None, &mut rng, &mut stats);
+        // a refresh toward nominal levels would leave ≈ −1.035 here
+        assert_eq!(tile.effective_weight(0, 1), before);
+    }
+
+    #[test]
+    fn saf_correction_restores_readout_and_clears_on_mutation() {
+        let mut device = DeviceModel::ideal();
+        device.on_off_ratio = 20.0;
+        let mut rng = Rng::from_seed(31);
+        let mut tile = Tile::program(&weights(), &device, &mut rng).unwrap();
+        assert!(!tile.has_saf_correction());
+        // pin the +1 weight at (0, 0) to zero: both cells stuck opposite
+        tile.inject_fault(0, 0, CellSide::Pos, CellHealth::StuckOff).unwrap();
+        tile.inject_fault(0, 0, CellSide::Neg, CellHealth::StuckOn).unwrap();
+        let map = tile.march_test(&MarchTestConfig::standard(), &mut rng).unwrap();
+        assert_eq!(map.len(), 2);
+        let entries = tile.build_saf_correction(&map);
+        assert_eq!(entries.len(), 1);
+        tile.set_saf_correction(entries);
+        assert!(tile.has_saf_correction());
+        let x = [1.0, -1.0, 1.0];
+        let mut out = [0.0f32; 2];
+        tile.mvm(&x, &NoiseSpec::none(), &mut rng, &mut out).unwrap();
+        // analog readout lost the (0,0) contribution: col0 = −1+(−1)(−1)+1·1? no:
+        // stuck pair reads −1 instead of +1 ⇒ col0 = −1 + 1 + 1 = 1
+        assert!((out[0] - 1.0).abs() < 1e-5, "broken readout = {}", out[0]);
+        let applied = tile.apply_saf_correction(&x, &mut out);
+        assert_eq!(applied, 1);
+        // corrected: back to the clean product 3
+        assert!((out[0] - 3.0).abs() < 1e-5, "corrected readout = {}", out[0]);
+        // rows driven at 0 skip their corrections
+        let x0 = [0.0, 1.0, 1.0];
+        let mut out0 = [0.0f32; 2];
+        assert_eq!(tile.apply_saf_correction(&x0, &mut out0), 0);
+        assert_eq!(out0, [0.0, 0.0]);
+        // any further mutation invalidates the table
+        tile.upset_cell(1, 1, CellSide::Neg, true).unwrap();
+        assert!(!tile.has_saf_correction());
+        tile.set_saf_correction(vec![(0, 0, 0.5)]);
+        tile.inject_fault(2, 0, CellSide::Pos, CellHealth::StuckOn).unwrap();
+        assert!(!tile.has_saf_correction());
+        tile.set_saf_correction(vec![(0, 0, 0.5)]);
+        tile.clear_saf_correction();
+        assert!(!tile.has_saf_correction());
     }
 
     #[test]

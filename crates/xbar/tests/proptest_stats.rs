@@ -11,7 +11,7 @@
 use membit_xbar::{ExecutionStats, GuardStats};
 use proptest::prelude::*;
 
-/// Builds a stats block from 16 raw counters (8 base + 8 guard).
+/// Builds a stats block from 17 raw counters (8 base + 9 guard).
 /// Full-range `u64` inputs make saturation a common case, not a corner.
 fn stats_from(raw: &[u64]) -> ExecutionStats {
     ExecutionStats {
@@ -31,7 +31,8 @@ fn stats_from(raw: &[u64]) -> ExecutionStats {
             tile_refreshes: raw[12],
             tile_remaps: raw[13],
             fallbacks: raw[14],
-            degraded_layers: raw[15],
+            saf_corrections: raw[15],
+            degraded_layers: raw[16],
         },
     }
 }
@@ -47,8 +48,8 @@ proptest! {
 
     #[test]
     fn merge_is_commutative(
-        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
-        rb in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        ra in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
+        rb in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
     ) {
         let (a, b) = (stats_from(&ra), stats_from(&rb));
         prop_assert_eq!(merged(&a, &b), merged(&b, &a));
@@ -56,9 +57,9 @@ proptest! {
 
     #[test]
     fn merge_is_associative(
-        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
-        rb in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
-        rc in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        ra in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
+        rb in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
+        rc in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
     ) {
         let (a, b, c) = (stats_from(&ra), stats_from(&rb), stats_from(&rc));
         prop_assert_eq!(
@@ -70,7 +71,7 @@ proptest! {
     #[test]
     fn merge_order_never_matters_for_any_fold(
         blocks in proptest::collection::vec(
-            proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+            proptest::collection::vec(0u64..=u64::MAX, 17..=17),
             1..6,
         ),
         rot in 0usize..6,
@@ -93,7 +94,7 @@ proptest! {
 
     #[test]
     fn default_is_merge_identity(
-        ra in proptest::collection::vec(0u64..=u64::MAX, 16..=16),
+        ra in proptest::collection::vec(0u64..=u64::MAX, 17..=17),
     ) {
         let a = stats_from(&ra);
         prop_assert_eq!(merged(&a, &ExecutionStats::default()), a);

@@ -28,6 +28,9 @@ echo "=== guard suite (stats merge algebra + checksum fuzzing) ==="
 cargo test -q -p membit-xbar --test proptest_stats
 cargo test -q -p membit-xbar --test proptest_kernels cached_kernel_never_masks_guard_violations
 
+echo "=== non-ideality suite (IR drop, temperature, guard silence) ==="
+cargo test -q -p membit-xbar --test proptest_nonideal
+
 echo "=== bench_engine smoke (BENCH_engine.json + BENCH_mvm.json) ==="
 # exercises both kernels and aborts on any cached/reference disagreement
 ./target/release/bench_engine --smoke
@@ -40,6 +43,13 @@ echo "=== ablation_guard smoke (BENCH_guard.json + ablation_guard.csv) ==="
 ./target/release/ablation_guard --smoke
 test -s results/BENCH_guard.json
 test -s results/ablation_guard.csv
+
+echo "=== ablation_nonideal smoke (BENCH_nonideal.json + ablation_nonideal.csv) ==="
+# asserts SAF gap recovery by the ECC + remap + guard stack, zero false
+# escalations on fault-free scenarios, and per-scenario thread determinism
+./target/release/ablation_nonideal --smoke
+test -s results/BENCH_nonideal.json
+test -s results/ablation_nonideal.csv
 
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings

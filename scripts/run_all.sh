@@ -23,7 +23,8 @@ cd "$(dirname "$0")/.."
 cargo build --release -p membit-bench
 
 bins=(fig1b fig2 table1 table2 ablation_gamma ablation_space ablation_snap \
-      ablation_drift ablation_arch ablation_fault device_eval encoding_compare diagnostics)
+      ablation_drift ablation_arch ablation_fault ablation_guard ablation_nonideal \
+      device_eval encoding_compare diagnostics)
 mkdir -p results/logs
 for bin in "${bins[@]}"; do
     echo "=== $bin (--scale $scale --seed $seed) ==="
