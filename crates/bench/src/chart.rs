@@ -72,6 +72,174 @@ pub fn dual_log_chart(
     out
 }
 
+/// A streaming latency histogram with logarithmic buckets, sized for
+/// tail-quantile estimation (p50/p95/p99) over unbounded sample streams
+/// in O(1) memory.
+///
+/// Buckets grow geometrically (`growth` per bucket, default ~5% wide),
+/// so the quantile error is bounded by the bucket width at any scale —
+/// the standard HDR-histogram trade-off, without retaining samples.
+#[derive(Debug, Clone)]
+pub struct StreamingHistogram {
+    /// Per-bucket counts keyed by bucket index (sparse).
+    buckets: std::collections::BTreeMap<i32, u64>,
+    /// Geometric growth factor between bucket edges (> 1).
+    growth: f64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// A histogram with ~5%-wide geometric buckets.
+    pub fn new() -> Self {
+        Self::with_growth(1.05)
+    }
+
+    /// A histogram with a custom growth factor (clamped to > 1).
+    pub fn with_growth(growth: f64) -> Self {
+        Self {
+            buckets: std::collections::BTreeMap::new(),
+            growth: growth.max(1.0 + 1e-9),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(&self, value: f64) -> i32 {
+        if value <= 0.0 {
+            return i32::MIN;
+        }
+        (value.ln() / self.growth.ln()).floor() as i32
+    }
+
+    /// Representative (geometric midpoint) value of a bucket.
+    fn bucket_value(&self, bucket: i32) -> f64 {
+        if bucket == i32::MIN {
+            return 0.0;
+        }
+        self.growth.powf(f64::from(bucket) + 0.5)
+    }
+
+    /// Records one sample. Non-finite samples are ignored; zeros and
+    /// negatives land in a dedicated underflow bucket.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        *self.buckets.entry(self.bucket_of(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated from bucket
+    /// midpoints, clamped to the observed min/max. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return self.bucket_value(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one. The other histogram must
+    /// use the same growth factor for the buckets to line up; merging
+    /// mismatched growths re-records bucket midpoints (lossy but safe).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if (self.growth - other.growth).abs() < 1e-12 {
+            for (&bucket, &n) in &other.buckets {
+                *self.buckets.entry(bucket).or_insert(0) += n;
+            }
+            self.count += other.count;
+            self.sum += other.sum;
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        } else {
+            for (&bucket, &n) in &other.buckets {
+                let v = other.bucket_value(bucket);
+                for _ in 0..n {
+                    self.record(v);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +279,97 @@ mod tests {
     #[should_panic]
     fn dual_log_chart_length_mismatch_panics() {
         dual_log_chart(&[1, 2], &[1.0], 'o', &[1.0, 2.0], 'x', 4);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_by_bucket_width() {
+        let mut h = StreamingHistogram::new();
+        // uniform 1..=1000: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        for (q, expect) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            // log buckets at 5% growth → ≤ ~5% relative error
+            assert!(
+                (got - expect).abs() / expect < 0.06,
+                "q{q}: got {got}, expected ~{expect}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn histogram_clamps_to_observed_range() {
+        let mut h = StreamingHistogram::new();
+        h.record(7.0);
+        assert_eq!(h.p50(), 7.0);
+        assert_eq!(h.p99(), 7.0);
+        assert_eq!(h.min(), 7.0);
+        assert_eq!(h.max(), 7.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_rejects_non_finite() {
+        let mut h = StreamingHistogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 2); // zero + negative recorded, non-finite dropped
+        assert_eq!(h.min(), -3.0);
+        // both live in the underflow bucket, whose midpoint is 0
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let mut all = StreamingHistogram::new();
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        for i in 1..=400 {
+            let v = f64::from(i) * 3.7;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "merge diverged at q{q}");
+        }
+    }
+
+    #[test]
+    fn histogram_tail_dominated_stream() {
+        let mut h = StreamingHistogram::new();
+        // 95 fast + 5 slow: p50 stays fast, p99 jumps to the tail
+        for _ in 0..95 {
+            h.record(10.0);
+        }
+        for _ in 0..5 {
+            h.record(10_000.0);
+        }
+        assert!(h.p50() < 11.0);
+        assert!(h.p99() > 9_000.0);
     }
 }

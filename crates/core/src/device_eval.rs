@@ -113,6 +113,10 @@ pub struct DeviceVgg {
     feature_dim: usize,
     act_levels: usize,
     num_classes: usize,
+    /// `[C, H, W]` of one input sample, captured at deploy time so
+    /// long-lived consumers (e.g. a serving loop) can validate and
+    /// reshape flat request payloads without the original `VggConfig`.
+    input_shape: [usize; 3],
     monitor: Option<HealthMonitor>,
     /// Inference vectors seen since the last health check.
     vectors_since_check: u64,
@@ -199,17 +203,21 @@ impl DeviceVgg {
             .bias()
             .map(|id| params.get(id).clone())
             .unwrap_or_else(|| Tensor::zeros(&[config.num_classes]));
+        let fc_pulses = *cfg.pulses.last().ok_or_else(|| {
+            TensorError::InvalidArgument("deployment needs at least one pulse count".into())
+        })?;
         Ok(Self {
             convs,
             fc_engine,
             fc_scale,
             fc_shift,
-            fc_pulses: *cfg.pulses.last().expect("validated nonempty"),
+            fc_pulses,
             classifier_w,
             classifier_b,
             feature_dim: config.feature_dim(),
             act_levels: cfg.act_levels,
             num_classes: config.num_classes,
+            input_shape: config.input_shape(),
             monitor: cfg.policy.monitor,
             vectors_since_check: 0,
             refreshes: 0,
@@ -494,6 +502,25 @@ impl DeviceVgg {
     /// Number of classes at the output.
     pub fn num_classes(&self) -> usize {
         self.num_classes
+    }
+
+    /// `[C, H, W]` of one input sample.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Rebounds the host-side thread fan-out of every crossbar engine
+    /// (see [`CrossbarLinear::set_max_threads`]). Outputs are bitwise
+    /// independent of the setting; only wall clock changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `max_threads` is zero.
+    pub fn set_max_threads(&mut self, max_threads: usize) -> Result<()> {
+        for engine in self.engines_mut() {
+            engine.set_max_threads(max_threads)?;
+        }
+        Ok(())
     }
 
     /// Ages every crossbar array by `hours` of retention drift (power-law

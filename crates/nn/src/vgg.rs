@@ -116,6 +116,12 @@ impl VggConfig {
         self.channels.len()
     }
 
+    /// `[C, H, W]` of one input sample — what deployment pipelines and
+    /// serving front-ends need to validate and reshape flat payloads.
+    pub fn input_shape(&self) -> [usize; 3] {
+        [self.in_channels, self.in_h, self.in_w]
+    }
+
     /// Spatial side length after all pools (input must be divisible).
     fn final_spatial(&self) -> (usize, usize) {
         let d = 1usize << self.pool_after.len();

@@ -1,0 +1,537 @@
+//! The deterministic serving core shared by the threaded [`Server`]
+//! (crate::Server) and the discrete-event [`simulate`](crate::simulate)
+//! driver.
+//!
+//! All decisions here are pure functions of `(config, admitted order,
+//! batch composition, RNG stream)` — the virtual clock is advanced from
+//! the energy model's latency accounting, never from wall time, so a
+//! live threaded run and its replay walk identical state.
+
+use membit_tensor::{Rng, Tensor};
+use membit_xbar::ExecutionStats;
+
+use crate::config::{RetryPolicy, ServeConfig};
+use crate::health::{HealthState, HealthTracker};
+use crate::log::{LogEvent, RequestLog};
+use crate::model::ServeModel;
+use crate::{Result, ServeError};
+
+/// An admitted request waiting for a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pending {
+    /// Dense id assigned at admission.
+    pub id: u64,
+    /// Flattened input sample.
+    pub input: Vec<f32>,
+    /// Virtual arrival time (ns).
+    pub arrival_ns: u64,
+    /// Deadline budget (ns).
+    pub deadline_ns: u64,
+}
+
+/// Per-request completion telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Output row of the model.
+    pub output: Vec<f32>,
+    /// Virtual completion time (ns).
+    pub completed_ns: u64,
+    /// Queueing + execution latency (ns, virtual).
+    pub latency_ns: u64,
+    /// Energy attributed to this request: the batch's energy split
+    /// evenly over its members (pJ).
+    pub energy_pj: f64,
+    /// Guard checksum violations observed by the carrying batch.
+    pub guard_violations: u64,
+    /// Whether the deployment was degraded (any layer on the digital
+    /// fallback) when the response was produced.
+    pub degraded: bool,
+    /// Whether the response was delivered past its deadline (it was
+    /// already executing when the deadline lapsed — delivered anyway,
+    /// flagged for the client).
+    pub late: bool,
+}
+
+/// Aggregate serving counters. The accounting identity
+/// `admitted == completed + expired + failed + cancelled` holds at
+/// shutdown — no request is ever lost or double-served.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests past admission control.
+    pub admitted: u64,
+    /// Requests rejected with `QueueFull`.
+    pub rejected_queue_full: u64,
+    /// Requests rejected with `Shed`.
+    pub rejected_shed: u64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Completions delivered past their deadline.
+    pub late_completions: u64,
+    /// Requests expired before execution (`DeadlineExceeded`).
+    pub expired: u64,
+    /// Requests failed by engine errors after retries.
+    pub failed: u64,
+    /// Admitted requests resolved with `Closed` by a kill.
+    pub cancelled: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Serve-level batch retries (above the guard ladder's own).
+    pub retries: u64,
+    /// Chaos injections applied.
+    pub chaos_events: u64,
+    /// Total upset cells injected by chaos.
+    pub chaos_upsets: u64,
+    /// Chaos injections that errored (counted, never silently dropped).
+    pub chaos_failures: u64,
+    /// High-water mark of the request queue depth.
+    pub max_queue_depth: u64,
+    /// Merged hardware event counts across all batches.
+    pub exec: ExecutionStats,
+}
+
+impl ServeStats {
+    /// Whether every admitted request was resolved exactly once.
+    pub fn accounted(&self) -> bool {
+        self.admitted == self.completed + self.expired + self.failed + self.cancelled
+    }
+}
+
+/// Admission decision against the bounded queue and health state.
+/// Consumes no RNG — admission order alone never perturbs responses.
+pub fn admit_check(depth: usize, capacity: usize, state: HealthState) -> Result<()> {
+    if state == HealthState::Shedding {
+        return Err(ServeError::Shed);
+    }
+    if depth >= capacity {
+        return Err(ServeError::QueueFull { capacity });
+    }
+    Ok(())
+}
+
+/// How many of `waiting` requests the next batch should take: capped at
+/// `max_batch`, and — when more work is waiting than fits — rounded down
+/// to a multiple of `block_align` so full sample blocks land on worker
+/// threads. A final partial batch (everything that's left) is always
+/// allowed, so no request can starve.
+pub fn batch_quota(waiting: usize, max_batch: usize, block_align: usize) -> usize {
+    let n = waiting.min(max_batch);
+    if n == waiting {
+        return n; // drain: partial block allowed
+    }
+    let aligned = (n / block_align) * block_align;
+    // block_align > max_batch makes alignment impossible; take the cap
+    if aligned == 0 {
+        n
+    } else {
+        aligned
+    }
+}
+
+/// Executes one batch with the serve-level retry policy, returning the
+/// outputs, the merged stats of the final attempt chain, and the number
+/// of retries taken.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Engine`] once the retry budget is exhausted.
+pub(crate) fn run_batch<M: ServeModel>(
+    model: &mut M,
+    retry: &RetryPolicy,
+    batch: &Tensor,
+    rng: &mut Rng,
+) -> Result<(Tensor, ExecutionStats, u32)> {
+    let mut attempt = 0u32;
+    loop {
+        match model.forward_batch(batch, rng) {
+            Ok((y, stats)) => return Ok((y, stats, attempt)),
+            Err(e) => {
+                if attempt >= retry.max_retries {
+                    return Err(e);
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// The single-owner serving core: model, RNG, log, clock, health, and
+/// counters. One `Executor` lives behind the scheduler thread of a
+/// [`Server`](crate::Server) or inside a [`simulate`](crate::simulate)
+/// loop; it is never shared.
+pub struct Executor<M> {
+    model: M,
+    rng: Rng,
+    config: ServeConfig,
+    log: RequestLog,
+    health: HealthTracker,
+    stats: ServeStats,
+    clock_ns: u64,
+    sample_len: usize,
+    input_shape: Vec<usize>,
+    out_dim: usize,
+}
+
+impl<M: ServeModel> Executor<M> {
+    /// Wraps a deployed model for serving under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`].
+    pub fn new(model: M, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let input_shape = model.input_shape();
+        let sample_len = input_shape.iter().product();
+        let out_dim = model.output_dim();
+        let rng = crate::log::serve_rng(config.seed);
+        Ok(Self {
+            model,
+            rng,
+            config,
+            log: RequestLog::new(),
+            health: HealthTracker::new(),
+            stats: ServeStats::default(),
+            clock_ns: 0,
+            sample_len,
+            input_shape,
+            out_dim,
+        })
+    }
+
+    /// Current virtual time (ns).
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the virtual clock to `t_ns` if it lies ahead (idle time
+    /// in a discrete-event simulation; the clock never moves backward).
+    pub fn advance_clock_to(&mut self, t_ns: u64) {
+        self.clock_ns = self.clock_ns.max(t_ns);
+    }
+
+    /// Current health state.
+    pub fn health_state(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The append-only log so far.
+    pub fn log(&self) -> &RequestLog {
+        &self.log
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Shape of one input sample.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Validates a payload, assigns the next dense id, records the
+    /// admission, and returns the [`Pending`] entry. The caller has
+    /// already passed [`admit_check`]; payload validation happens here
+    /// so a malformed request is rejected before it can occupy a slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] on a payload length mismatch.
+    pub fn admit(&mut self, input: Vec<f32>, deadline_ns: Option<u64>) -> Result<Pending> {
+        let pending = Pending {
+            id: self.stats.admitted,
+            input,
+            arrival_ns: self.clock_ns,
+            deadline_ns: deadline_ns.unwrap_or(self.config.default_deadline_ns),
+        };
+        self.register(&pending)?;
+        Ok(pending)
+    }
+
+    /// Records an externally built admission (the threaded server
+    /// assigns ids and arrival stamps at submit time) in the log, in
+    /// scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] on a payload length mismatch.
+    pub fn register(&mut self, pending: &Pending) -> Result<()> {
+        if pending.input.len() != self.sample_len {
+            return Err(ServeError::BadRequest(format!(
+                "payload has {} values, model wants {}",
+                pending.input.len(),
+                self.sample_len
+            )));
+        }
+        self.stats.admitted += 1;
+        self.log.push(LogEvent::Admit {
+            id: pending.id,
+            arrival_ns: pending.arrival_ns,
+            deadline_ns: pending.deadline_ns,
+            input: pending.input.clone(),
+        });
+        Ok(())
+    }
+
+    /// Applies one chaos injection, logging it in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection errors.
+    pub fn apply_chaos(&mut self, rate: f32) -> Result<u64> {
+        self.log.push(LogEvent::Chaos { rate });
+        match self.model.inject_upsets(rate, &mut self.rng) {
+            Ok(injected) => {
+                self.stats.chaos_events += 1;
+                self.stats.chaos_upsets += injected;
+                Ok(injected)
+            }
+            Err(e) => {
+                self.stats.chaos_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Serves one slice of admitted requests: expires the overdue,
+    /// batches the rest, executes with retries, advances the virtual
+    /// clock, updates health, and returns each request's typed outcome
+    /// in input order.
+    ///
+    /// An engine failure after retries fails the *batch members* (each
+    /// owner gets the error) but never the loop itself.
+    pub fn serve(&mut self, requests: Vec<Pending>) -> Vec<(Pending, Result<Response>)> {
+        let mut outcomes = Vec::with_capacity(requests.len());
+        let mut live = Vec::with_capacity(requests.len());
+        for req in requests {
+            if self.clock_ns > req.arrival_ns.saturating_add(req.deadline_ns) {
+                self.log.push(LogEvent::Expire {
+                    id: req.id,
+                    now_ns: self.clock_ns,
+                });
+                self.stats.expired += 1;
+                let err = ServeError::DeadlineExceeded {
+                    arrival_ns: req.arrival_ns,
+                    deadline_ns: req.deadline_ns,
+                    now_ns: self.clock_ns,
+                };
+                outcomes.push((req, Err(err)));
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            return outcomes;
+        }
+        let ids: Vec<u64> = live.iter().map(|r| r.id).collect();
+        self.log.push(LogEvent::Batch { ids });
+        let mut flat = Vec::with_capacity(live.len() * self.sample_len);
+        for req in &live {
+            flat.extend_from_slice(&req.input);
+        }
+        let mut batch_shape = vec![live.len()];
+        batch_shape.extend_from_slice(&self.input_shape);
+        let batch = match Tensor::from_vec(flat, &batch_shape) {
+            Ok(b) => b,
+            Err(e) => {
+                // cannot happen for validated payloads; fail the members
+                for req in live {
+                    self.stats.failed += 1;
+                    outcomes.push((req, Err(ServeError::from(e.clone()))));
+                }
+                return outcomes;
+            }
+        };
+        let result = run_batch(&mut self.model, &self.config.retry, &batch, &mut self.rng);
+        self.stats.batches += 1;
+        match result {
+            Ok((y, stats, retries)) => {
+                self.stats.retries += u64::from(retries);
+                self.stats.exec.merge(&stats);
+                // clock: modeled batch latency + retry backoff
+                let mut dt = self.config.energy.latency_ns(&stats).round() as u64;
+                for attempt in 1..=retries {
+                    dt = dt.saturating_add(self.config.retry.backoff_for(attempt));
+                }
+                self.clock_ns = self.clock_ns.saturating_add(dt);
+                let degraded = self.model.degraded_layers() > 0;
+                self.health
+                    .observe(&self.config.health, &stats, self.model.degraded_layers());
+                let energy_each = self.config.energy.energy_pj(&stats) / live.len() as f64;
+                let rows = y.as_slice();
+                for (row, req) in live.into_iter().enumerate() {
+                    let late = self.clock_ns > req.arrival_ns.saturating_add(req.deadline_ns);
+                    self.stats.completed += 1;
+                    self.stats.late_completions += u64::from(late);
+                    let response = Response {
+                        output: rows[row * self.out_dim..(row + 1) * self.out_dim].to_vec(),
+                        completed_ns: self.clock_ns,
+                        latency_ns: self.clock_ns.saturating_sub(req.arrival_ns),
+                        energy_pj: energy_each,
+                        guard_violations: stats.guard.violations,
+                        degraded,
+                        late,
+                    };
+                    outcomes.push((req, Ok(response)));
+                }
+            }
+            Err(e) => {
+                for req in live {
+                    self.stats.failed += 1;
+                    outcomes.push((req, Err(e.clone())));
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Resolves still-queued requests with [`ServeError::Closed`] (a
+    /// kill, not a drain), returning their typed outcomes. The requests
+    /// passed admission but were never registered (a registered request
+    /// is always served in the same pull), so they count toward
+    /// `admitted` here to keep the accounting identity.
+    pub fn cancel(&mut self, requests: Vec<Pending>) -> Vec<(Pending, Result<Response>)> {
+        requests
+            .into_iter()
+            .map(|req| {
+                self.stats.admitted += 1;
+                self.stats.cancelled += 1;
+                (req, Err(ServeError::Closed))
+            })
+            .collect()
+    }
+
+    /// Records a queue-depth observation for the high-water mark.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(depth as u64);
+    }
+
+    /// Records an admission rejection in the counters.
+    pub fn note_rejection(&mut self, err: &ServeError) {
+        match err {
+            ServeError::QueueFull { .. } => self.stats.rejected_queue_full += 1,
+            ServeError::Shed => self.stats.rejected_shed += 1,
+            _ => {}
+        }
+    }
+
+    /// Tears the executor down into its report: the model (for
+    /// inspection), the full log, and the final counters.
+    pub fn into_report(self) -> (M, RequestLog, ServeStats) {
+        (self.model, self.log, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearServeModel;
+    use membit_xbar::{GuardPolicy, XbarConfig};
+
+    fn executor(seed: u64) -> Executor<LinearServeModel> {
+        let w = Tensor::from_fn(&[2, 3], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let cfg = XbarConfig::functional(0.02).with_guard(GuardPolicy::standard());
+        let model =
+            LinearServeModel::program(&w, &cfg, 9, 4, &mut Rng::from_seed(seed)).unwrap();
+        Executor::new(model, ServeConfig::standard(seed)).unwrap()
+    }
+
+    fn payload(i: usize) -> Vec<f32> {
+        (0..3)
+            .map(|j| (((i * 3 + j) % 5) as f32 / 2.0 - 1.0).clamp(-1.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn admit_check_is_typed() {
+        assert!(admit_check(0, 2, HealthState::Healthy).is_ok());
+        assert!(matches!(
+            admit_check(2, 2, HealthState::Healthy),
+            Err(ServeError::QueueFull { capacity: 2 })
+        ));
+        assert!(matches!(
+            admit_check(0, 2, HealthState::Shedding),
+            Err(ServeError::Shed)
+        ));
+    }
+
+    #[test]
+    fn batch_quota_aligns_only_under_surplus() {
+        // draining: partial batches always allowed
+        assert_eq!(batch_quota(3, 8, 2), 3);
+        // surplus: rounded down to full blocks
+        assert_eq!(batch_quota(9, 8, 2), 8);
+        assert_eq!(batch_quota(7, 6, 4), 4);
+        // alignment larger than the cap still yields progress
+        assert_eq!(batch_quota(10, 3, 4), 3);
+    }
+
+    #[test]
+    fn serve_completes_and_accounts() {
+        let mut ex = executor(1);
+        let a = ex.admit(payload(0), None).unwrap();
+        let b = ex.admit(payload(1), None).unwrap();
+        let outcomes = ex.serve(vec![a, b]);
+        assert_eq!(outcomes.len(), 2);
+        for (_, o) in &outcomes {
+            let r = o.as_ref().unwrap();
+            assert_eq!(r.output.len(), 2);
+            assert!(r.latency_ns > 0);
+        }
+        assert!(ex.clock_ns() > 0);
+        assert!(ex.stats().accounted());
+        assert_eq!(ex.stats().completed, 2);
+        assert_eq!(ex.log().len(), 3); // 2 admits + 1 batch
+    }
+
+    #[test]
+    fn overdue_requests_expire_typed() {
+        let mut ex = executor(2);
+        // admitted at clock 0 with a 1 ns budget
+        let a = ex.admit(payload(0), Some(1)).unwrap();
+        // force the clock past the deadline by serving another batch first
+        let b = ex.admit(payload(1), None).unwrap();
+        ex.serve(vec![b]);
+        let outcomes = ex.serve(vec![a]);
+        assert!(matches!(
+            outcomes[0].1,
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        assert!(ex.stats().accounted());
+        assert_eq!(ex.stats().expired, 1);
+    }
+
+    #[test]
+    fn bad_payload_is_rejected_before_queueing() {
+        let mut ex = executor(3);
+        assert!(matches!(
+            ex.admit(vec![1.0, 2.0], None),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_is_logged_in_order() {
+        let mut ex = executor(4);
+        let a = ex.admit(payload(0), None).unwrap();
+        ex.apply_chaos(0.25).unwrap();
+        ex.serve(vec![a]);
+        let kinds: Vec<_> = ex
+            .log()
+            .events()
+            .iter()
+            .map(|e| match e {
+                LogEvent::Admit { .. } => "admit",
+                LogEvent::Chaos { .. } => "chaos",
+                LogEvent::Expire { .. } => "expire",
+                LogEvent::Batch { .. } => "batch",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["admit", "chaos", "batch"]);
+        assert_eq!(ex.stats().chaos_events, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! `membit-serve` — fault-tolerant deterministic batched inference
+//! serving for binary memristive crossbar models.
+//!
+//! The crate fronts a deployed crossbar model ([`DeviceVgg`] or a
+//! single [`LinearServeModel`] layer) with a production-shaped serving
+//! loop:
+//!
+//! - **Bounded admission.** A fixed-capacity queue with typed
+//!   backpressure — [`ServeError::QueueFull`], [`ServeError::Shed`],
+//!   [`ServeError::DeadlineExceeded`] — so overload is always visible
+//!   to the caller, never a silent drop.
+//! - **Dynamic batching.** Waiting requests are packed into batches
+//!   aligned to the engine's sample-block partitioning
+//!   ([`batch_quota`]), amortising pulse streaming across requests.
+//! - **Deadlines and retries.** Each request carries a virtual-time
+//!   deadline; transient guard failures are retried with exponential
+//!   backoff ([`RetryPolicy`]) *above* the engine's own guard ladder
+//!   (retry → refresh → remap → digital fallback).
+//! - **Health-aware degradation.** A guard-violation EMA plus the
+//!   deployment's degraded-layer count drive a
+//!   Healthy → Degraded → Shedding state machine ([`HealthTracker`])
+//!   that sheds load before the hardware drowns.
+//! - **Deterministic replay.** Every admission, chaos injection,
+//!   expiry, and batch composition is recorded in an append-only
+//!   [`RequestLog`]; [`replay`] re-executes it against a fresh
+//!   deployment and reproduces every response **bitwise**, at any
+//!   engine thread count.
+//!
+//! Three drivers share the same core [`Executor`]: the threaded
+//! [`Server`] for live concurrent clients, the discrete-event
+//! [`simulate`] loop for load sweeps in virtual time, and [`replay`]
+//! for forensic reproduction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use membit_serve::{simulate, ArrivalEvent, ArrivalKind, ServeConfig};
+//! use membit_serve::LinearServeModel;
+//! use membit_tensor::{Rng, Tensor};
+//! use membit_xbar::{GuardPolicy, XbarConfig};
+//!
+//! let w = Tensor::from_fn(&[2, 3], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+//! let cfg = XbarConfig::functional(0.02).with_guard(GuardPolicy::standard());
+//! let model = LinearServeModel::program(&w, &cfg, 9, 4, &mut Rng::from_seed(1)).unwrap();
+//!
+//! let schedule: Vec<ArrivalEvent> = (0..4)
+//!     .map(|i| ArrivalEvent {
+//!         at_ns: i as u64 * 1_000,
+//!         kind: ArrivalKind::Request { input: vec![0.5, -0.5, 1.0], deadline_ns: None },
+//!     })
+//!     .collect();
+//! let report = simulate(model, ServeConfig::standard(7), &schedule).unwrap();
+//! assert_eq!(report.stats.completed, 4);
+//! assert!(report.stats.accounted());
+//! ```
+//!
+//! [`DeviceVgg`]: membit_core::DeviceVgg
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod executor;
+pub mod health;
+pub mod log;
+pub mod model;
+pub mod server;
+pub mod sim;
+
+pub use config::{RetryPolicy, ServeConfig};
+pub use error::ServeError;
+pub use executor::{admit_check, batch_quota, Executor, Pending, Response, ServeStats};
+pub use health::{HealthPolicy, HealthState, HealthTracker};
+pub use log::{replay, serve_rng, LogEvent, RequestLog};
+pub use model::{LinearServeModel, ServeModel};
+pub use server::{Handle, ServeReport, Server};
+pub use sim::{simulate, ArrivalEvent, ArrivalKind, SimOutcome, SimReport};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

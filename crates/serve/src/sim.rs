@@ -1,0 +1,301 @@
+//! Discrete-event load simulation over the serving core.
+//!
+//! [`simulate`] drives an [`Executor`] through a timed arrival schedule
+//! entirely in virtual time: requests arrive at their scheduled
+//! timestamps, batches advance the clock by the energy model's latency
+//! accounting, and admission control sees exactly the queue depth a
+//! live server would at that virtual instant. Because no wall clock is
+//! involved, a simulation is a pure function of `(model, config,
+//! schedule)` — the offered-load sweeps of `bench_serve` and the queue
+//! invariant proptests both run on it.
+
+use std::collections::VecDeque;
+
+use crate::config::ServeConfig;
+use crate::executor::{admit_check, batch_quota, Executor, Pending, Response, ServeStats};
+use crate::log::RequestLog;
+use crate::model::ServeModel;
+use crate::{Result, ServeError};
+
+/// What arrives at a scheduled instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalKind {
+    /// A client request with a flattened payload and optional deadline
+    /// override (virtual ns).
+    Request {
+        /// Flattened input sample.
+        input: Vec<f32>,
+        /// Deadline budget; `None` uses the config default.
+        deadline_ns: Option<u64>,
+    },
+    /// A chaos injection at the given per-cell upset rate.
+    Chaos {
+        /// Per-cell upset rate.
+        rate: f32,
+    },
+}
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalEvent {
+    /// Virtual arrival time (ns); the schedule must be non-decreasing.
+    pub at_ns: u64,
+    /// What arrives.
+    pub kind: ArrivalKind,
+}
+
+/// Outcome of one scheduled request (chaos events produce no outcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Position in the input schedule.
+    pub index: usize,
+    /// Assigned request id, if the request passed admission.
+    pub id: Option<u64>,
+    /// The response, or the typed rejection/failure.
+    pub result: Result<Response>,
+}
+
+/// Final state of a simulation.
+pub struct SimReport<M> {
+    /// The model after serving.
+    pub model: M,
+    /// The append-only request log (replayable).
+    pub log: RequestLog,
+    /// Aggregate counters; `stats.accounted()` holds.
+    pub stats: ServeStats,
+    /// Per-scheduled-request outcomes, in schedule order.
+    pub outcomes: Vec<SimOutcome>,
+}
+
+enum SimWork {
+    Request(Pending, usize),
+    Chaos { rate: f32 },
+}
+
+/// Runs `model` through `schedule` under `config`, entirely in virtual
+/// time.
+///
+/// # Errors
+///
+/// Returns a `BadRequest` for an unsorted schedule and propagates
+/// configuration errors; per-request failures land in the outcomes, not
+/// here.
+pub fn simulate<M: ServeModel>(
+    model: M,
+    config: ServeConfig,
+    schedule: &[ArrivalEvent],
+) -> Result<SimReport<M>> {
+    if schedule.windows(2).any(|w| w[0].at_ns > w[1].at_ns) {
+        return Err(ServeError::BadRequest(
+            "arrival schedule must be sorted by at_ns".into(),
+        ));
+    }
+    let capacity = config.queue_capacity;
+    let max_batch = config.max_batch;
+    let block_align = config.block_align;
+    let default_deadline = config.default_deadline_ns;
+    let mut executor = Executor::new(model, config)?;
+    let mut queue: VecDeque<SimWork> = VecDeque::new();
+    let mut depth = 0usize;
+    let mut outcomes: Vec<SimOutcome> = Vec::new();
+    let mut next = 0usize;
+    loop {
+        // ingest every arrival due at the current virtual time
+        while next < schedule.len() && schedule[next].at_ns <= executor.clock_ns() {
+            let event = &schedule[next];
+            match &event.kind {
+                ArrivalKind::Chaos { rate } => {
+                    queue.push_back(SimWork::Chaos { rate: *rate });
+                }
+                ArrivalKind::Request { input, deadline_ns } => {
+                    match admit_check(depth, capacity, executor.health_state()) {
+                        Err(e) => {
+                            executor.note_rejection(&e);
+                            outcomes.push(SimOutcome {
+                                index: next,
+                                id: None,
+                                result: Err(e),
+                            });
+                        }
+                        Ok(()) => {
+                            let pending = Pending {
+                                id: executor.stats().admitted,
+                                input: input.clone(),
+                                arrival_ns: event.at_ns,
+                                deadline_ns: deadline_ns.unwrap_or(default_deadline),
+                            };
+                            match executor.register(&pending) {
+                                Err(e) => outcomes.push(SimOutcome {
+                                    index: next,
+                                    id: None,
+                                    result: Err(e),
+                                }),
+                                Ok(()) => {
+                                    queue.push_back(SimWork::Request(pending, next));
+                                    depth += 1;
+                                    executor.note_queue_depth(depth);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        if !queue.is_empty() {
+            // apply leading chaos, then execute one aligned batch
+            while let Some(SimWork::Chaos { .. }) = queue.front() {
+                if let Some(SimWork::Chaos { rate }) = queue.pop_front() {
+                    let _ = executor.apply_chaos(rate); // counted in stats
+                }
+            }
+            let run = queue
+                .iter()
+                .take_while(|w| matches!(w, SimWork::Request(..)))
+                .count();
+            if run > 0 {
+                let take = batch_quota(run, max_batch, block_align);
+                let mut batch = Vec::with_capacity(take);
+                let mut indices = Vec::with_capacity(take);
+                for _ in 0..take {
+                    if let Some(SimWork::Request(p, idx)) = queue.pop_front() {
+                        batch.push(p);
+                        indices.push(idx);
+                    }
+                }
+                depth -= batch.len();
+                for ((req, result), index) in executor.serve(batch).into_iter().zip(indices) {
+                    outcomes.push(SimOutcome {
+                        index,
+                        id: Some(req.id),
+                        result,
+                    });
+                }
+            }
+            continue;
+        }
+        if next < schedule.len() {
+            executor.advance_clock_to(schedule[next].at_ns);
+            continue;
+        }
+        break;
+    }
+    outcomes.sort_by_key(|o| o.index);
+    let (model, log, stats) = executor.into_report();
+    Ok(SimReport {
+        model,
+        log,
+        stats,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearServeModel;
+    use membit_tensor::{Rng, Tensor};
+    use membit_xbar::{GuardPolicy, XbarConfig};
+
+    fn model(seed: u64) -> LinearServeModel {
+        let w = Tensor::from_fn(&[2, 3], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let cfg = XbarConfig::functional(0.02).with_guard(GuardPolicy::standard());
+        LinearServeModel::program(&w, &cfg, 9, 4, &mut Rng::from_seed(seed)).unwrap()
+    }
+
+    fn request(at_ns: u64, i: usize) -> ArrivalEvent {
+        ArrivalEvent {
+            at_ns,
+            kind: ArrivalKind::Request {
+                input: (0..3)
+                    .map(|j| (((i * 3 + j) % 5) as f32 / 2.0 - 1.0).clamp(-1.0, 1.0))
+                    .collect(),
+                deadline_ns: None,
+            },
+        }
+    }
+
+    #[test]
+    fn spread_arrivals_all_complete() {
+        let schedule: Vec<ArrivalEvent> = (0..8).map(|i| request(i as u64 * 10_000, i)).collect();
+        let report = simulate(model(1), ServeConfig::standard(1), &schedule).unwrap();
+        assert!(report.stats.accounted());
+        assert_eq!(report.stats.completed, 8);
+        assert_eq!(report.outcomes.len(), 8);
+        assert!(report.outcomes.iter().all(|o| o.result.is_ok()));
+        // spread arrivals leave the clock at least at the last arrival
+        assert!(report.stats.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn burst_beyond_capacity_is_rejected_typed() {
+        let mut cfg = ServeConfig::standard(2);
+        cfg.queue_capacity = 4;
+        let schedule: Vec<ArrivalEvent> = (0..10).map(|i| request(0, i)).collect();
+        let report = simulate(model(2), cfg, &schedule).unwrap();
+        let full = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(ServeError::QueueFull { .. })))
+            .count();
+        assert_eq!(full, 6, "4 admitted, 6 bounced");
+        assert_eq!(report.stats.rejected_queue_full, 6);
+        assert_eq!(report.stats.completed, 4);
+        assert!(report.stats.accounted());
+    }
+
+    #[test]
+    fn unsorted_schedule_is_rejected() {
+        let schedule = vec![request(100, 0), request(0, 1)];
+        assert!(matches!(
+            simulate(model(3), ServeConfig::standard(3), &schedule),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_between_requests_is_applied_in_order() {
+        let schedule = vec![
+            request(0, 0),
+            ArrivalEvent {
+                at_ns: 0,
+                kind: ArrivalKind::Chaos { rate: 0.25 },
+            },
+            request(0, 1),
+        ];
+        let report = simulate(model(4), ServeConfig::standard(4), &schedule).unwrap();
+        assert_eq!(report.stats.chaos_events, 1);
+        assert!(report.stats.chaos_upsets > 0);
+        assert_eq!(report.stats.completed, 2);
+    }
+
+    #[test]
+    fn tight_deadlines_expire_under_backlog() {
+        let mut cfg = ServeConfig::standard(5);
+        cfg.max_batch = 1;
+        cfg.block_align = 1;
+        // all arrive at t=0 with a budget shorter than one batch latency:
+        // the first request is served (expiry is checked at pickup, when
+        // the clock still reads 0), the rest expire as the clock passes
+        // their budget
+        let schedule: Vec<ArrivalEvent> = (0..6)
+            .map(|_| ArrivalEvent {
+                at_ns: 0,
+                kind: ArrivalKind::Request {
+                    input: vec![0.5, -0.5, 1.0],
+                    deadline_ns: Some(1),
+                },
+            })
+            .chain(std::iter::once(request(1_000_000, 6)))
+            .collect();
+        let report = simulate(model(5), cfg, &schedule).unwrap();
+        assert!(report.stats.expired > 0, "{:?}", report.stats);
+        assert!(report.stats.accounted());
+        let expired = report
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(ServeError::DeadlineExceeded { .. })))
+            .count();
+        assert_eq!(expired as u64, report.stats.expired);
+    }
+}

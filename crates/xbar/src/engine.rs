@@ -320,7 +320,11 @@ impl CrossbarLinear {
                 let (mut tile, stats) = slots
                     .next()
                     .flatten()
-                    .expect("program fan-out filled every slot")?;
+                    .ok_or_else(|| {
+                        TensorError::InvalidArgument(
+                            "program fan-out left an unfilled tile slot".into(),
+                        )
+                    })??;
                 if config.write_verify.is_some() {
                     program_stats.merge(&stats);
                 }
@@ -372,6 +376,26 @@ impl CrossbarLinear {
     /// The deployment configuration.
     pub fn config(&self) -> &XbarConfig {
         &self.config
+    }
+
+    /// Rebounds the host-side thread fan-out for subsequent executions.
+    ///
+    /// Results are bitwise independent of this setting (noise substreams
+    /// are keyed per `(pulse, sample, tile)`), so a long-lived deployment
+    /// — e.g. a serving loop — can rescale workers at runtime without
+    /// perturbing reproducibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `max_threads` is zero.
+    pub fn set_max_threads(&mut self, max_threads: usize) -> Result<()> {
+        if max_threads == 0 {
+            return Err(TensorError::InvalidArgument(
+                "max_threads must be ≥ 1".into(),
+            ));
+        }
+        self.config.exec.max_threads = max_threads;
+        Ok(())
     }
 
     /// Executes a pulse train of input vectors (`[N, in]` per pulse),
@@ -647,9 +671,11 @@ impl CrossbarLinear {
             let mut grng = base
                 .substream(&key)
                 .substream(&[GUARD_STREAM_TAG, attempt]);
-            let (mut chk, var) = tile
-                .checksum_pulse(x, noise, &mut grng)
-                .expect("guard_readout requires an armed tile");
+            let (mut chk, var) = tile.checksum_pulse(x, noise, &mut grng).ok_or_else(|| {
+                TensorError::InvalidArgument(
+                    "guard_readout invoked on a tile with no armed guard".into(),
+                )
+            })?;
             if let Some(s) = step {
                 // the checksum column needs a wider conversion range than
                 // a regular column (it carries the whole tile's sum), so

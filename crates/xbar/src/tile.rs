@@ -1104,16 +1104,14 @@ impl Tile {
         type PairEstimate = ((usize, usize), Option<f32>, Option<f32>);
         let mut est: Vec<PairEstimate> = Vec::new();
         for f in residual.faults() {
-            let slot = match est.iter_mut().find(|(rc, _, _)| *rc == (f.row, f.col)) {
-                Some(slot) => slot,
-                None => {
-                    est.push(((f.row, f.col), None, None));
-                    est.last_mut().expect("just pushed")
+            if !est.iter().any(|(rc, _, _)| *rc == (f.row, f.col)) {
+                est.push(((f.row, f.col), None, None));
+            }
+            if let Some(slot) = est.iter_mut().find(|(rc, _, _)| *rc == (f.row, f.col)) {
+                match f.side {
+                    CellSide::Pos => slot.1 = Some(f.g_est),
+                    CellSide::Neg => slot.2 = Some(f.g_est),
                 }
-            };
-            match f.side {
-                CellSide::Pos => slot.1 = Some(f.g_est),
-                CellSide::Neg => slot.2 = Some(f.g_est),
             }
         }
         est.iter()

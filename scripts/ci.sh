@@ -31,6 +31,13 @@ cargo test -q -p membit-xbar --test proptest_kernels cached_kernel_never_masks_g
 echo "=== non-ideality suite (IR drop, temperature, guard silence) ==="
 cargo test -q -p membit-xbar --test proptest_nonideal
 
+echo "=== serve suite (queue invariants + threaded chaos replay) ==="
+# conservation, admission monotonicity, zero silent drops, bitwise replay
+cargo test -q -p membit-serve --test proptest_serve
+# live threaded serving over DeviceVgg: chaos + guard escalations must
+# replay bitwise at 1 and 4 engine threads; kill + overload typed
+cargo test -q -p membit-serve --test serve_replay
+
 echo "=== bench_engine smoke (BENCH_engine.json + BENCH_mvm.json) ==="
 # exercises both kernels and aborts on any cached/reference disagreement
 ./target/release/bench_engine --smoke
@@ -50,6 +57,12 @@ echo "=== ablation_nonideal smoke (BENCH_nonideal.json + ablation_nonideal.csv) 
 ./target/release/ablation_nonideal --smoke
 test -s results/BENCH_nonideal.json
 test -s results/ablation_nonideal.csv
+
+echo "=== bench_serve smoke (BENCH_serve.json) ==="
+# load × chaos sweep cells assert accounting, typed backpressure,
+# health shedding, and bitwise log replay
+./target/release/bench_serve --smoke
+test -s results/BENCH_serve.json
 
 echo "=== cargo clippy (-D warnings) ==="
 cargo clippy --release --workspace --all-targets -- -D warnings

@@ -24,7 +24,7 @@ cargo build --release -p membit-bench
 
 bins=(fig1b fig2 table1 table2 ablation_gamma ablation_space ablation_snap \
       ablation_drift ablation_arch ablation_fault ablation_guard ablation_nonideal \
-      device_eval encoding_compare diagnostics)
+      device_eval encoding_compare diagnostics bench_serve)
 mkdir -p results/logs
 for bin in "${bins[@]}"; do
     echo "=== $bin (--scale $scale --seed $seed) ==="
