@@ -15,8 +15,8 @@ use membit_encoding::BitEncoder;
 use membit_nn::{Params, Vgg};
 use membit_tensor::{im2col_into, Conv2dGeometry, Rng, Tensor, TensorError};
 use membit_xbar::{
-    CellHealth, CellSide, CrossbarLinear, ExecutionStats, HealthMonitor, RecoveryPolicy,
-    RemapReport, XbarConfig,
+    CellHealth, CellSide, CrossbarLinear, ExecutionStats, HealthMonitor, MvmKernel,
+    RecoveryPolicy, RemapReport, XbarConfig,
 };
 
 use crate::Result;
@@ -521,6 +521,24 @@ impl DeviceVgg {
             engine.set_max_threads(max_threads)?;
         }
         Ok(())
+    }
+
+    /// Switches the tile MVM kernel of every crossbar engine (see
+    /// [`CrossbarLinear::set_kernel`]). For the binary pulse trains this
+    /// deployment drives, every kernel is bitwise identical — the knob
+    /// selects an inner loop (e.g. the bit-packed popcount path), never
+    /// different results, so it is safe to flip on a live deployment.
+    pub fn set_kernel(&mut self, kernel: MvmKernel) {
+        for engine in self.engines_mut() {
+            engine.set_kernel(kernel);
+        }
+    }
+
+    /// Whether every crossbar engine satisfies the packed kernel's
+    /// exactness preconditions on every tile (see
+    /// [`CrossbarLinear::packed_ready`]).
+    pub fn packed_ready(&self) -> bool {
+        self.engines().all(CrossbarLinear::packed_ready)
     }
 
     /// Ages every crossbar array by `hours` of retention drift (power-law

@@ -92,12 +92,21 @@ mod tests {
 
     #[test]
     fn results_identical_for_any_chunking() {
+        // NB: the fill must not call a libm transcendental (`sin` etc.):
+        // in `--release` the compiler auto-vectorizes those per chunk
+        // length and the vector/scalar paths round 1 ULP apart, which is
+        // exactly the cross-chunk divergence this test exists to forbid.
+        // Integer-derived values are bit-identical in every build mode.
+        let fill = |g: usize| -> f32 {
+            let h = (g as u32).wrapping_mul(2_654_435_761);
+            (h >> 16) as f32 / 65_536.0 - 0.5
+        };
         let compute = |chunk_len: usize| -> (Vec<f32>, f64) {
             let mut data = vec![0.0f32; 37];
             let partials = scoped_chunks(&mut data, chunk_len, |start, chunk| {
                 let mut sum = 0.0f64;
                 for (i, v) in chunk.iter_mut().enumerate() {
-                    *v = ((start + i) as f32).sin();
+                    *v = fill(start + i);
                     sum += f64::from(*v);
                 }
                 sum

@@ -31,8 +31,12 @@ pub struct ExecOptions {
     /// Which tile MVM kernel executes pulses. [`MvmKernel::Cached`] (the
     /// default) additionally unlocks the incremental pulse-delta schedule
     /// for [nested-unary](TrainKind::NestedUnary) trains;
+    /// [`MvmKernel::Packed`] runs the bit-packed popcount inner loop on
+    /// eligible tiles (see [`CrossbarLinear::packed_ready`]) and
+    /// downgrades per tile to the cached loop otherwise;
     /// [`MvmKernel::Reference`] is the escape hatch for differential
-    /// testing and debugging.
+    /// testing and debugging. All three are bitwise identical for ±1/0
+    /// pulses.
     pub kernel: MvmKernel,
 }
 
@@ -398,6 +402,30 @@ impl CrossbarLinear {
         Ok(())
     }
 
+    /// Switches the tile MVM kernel for subsequent executions. For ±1/0
+    /// pulse trains every kernel is bitwise identical (the packed kernel
+    /// downgrades per tile when its exactness preconditions fail), so a
+    /// live deployment can be re-pointed at a faster inner loop without
+    /// perturbing reproducibility — the serving replay contract survives
+    /// the switch.
+    pub fn set_kernel(&mut self, kernel: MvmKernel) {
+        self.config.exec.kernel = kernel;
+    }
+
+    /// Whether **every** tile of this operator satisfies the packed
+    /// kernel's exactness preconditions (uniform weight magnitude — and,
+    /// on c2c-noisy devices, uniform per-cell `G⁺²+G⁻²` — with exactly
+    /// representable multiples; see [`Tile::packed_ready`]). When
+    /// `false`, [`MvmKernel::Packed`] still executes correctly but some
+    /// tiles serve the cached loop.
+    pub fn packed_ready(&self) -> bool {
+        let need_c2c = self.config.noise.device.c2c_sigma > 0.0;
+        self.tiles
+            .iter()
+            .flatten()
+            .all(|tile| tile.packed_ready(need_c2c))
+    }
+
     /// Executes a pulse train of input vectors (`[N, in]` per pulse),
     /// returning decoded outputs `[N, out]`.
     ///
@@ -721,6 +749,19 @@ impl CrossbarLinear {
         ablock: &mut [f32],
         viol: &mut [u64],
     ) -> Result<ExecutionStats> {
+        // Kernel × schedule compatibility — explicit, never a silent
+        // wrong-result path:
+        //   - Cached + NestedUnary takes the incremental pulse-delta
+        //     schedule (bitwise equal to the dense schedule; the delta
+        //     path maintains a running f32 pre-sign accumulator that
+        //     only the scalar cached loop can update sparsely).
+        //   - Packed + NestedUnary deliberately takes the generic dense
+        //     path below: a schedule downgrade, not a kernel one — each
+        //     pulse still runs the popcount accumulation on eligible
+        //     tiles, and outputs stay bitwise equal to Reference (see
+        //     `packed_kernel_runs_nested_unary_dense_and_bitwise`).
+        //   - Reference (the differential oracle) and every non-nested
+        //     train also take the dense path.
         if self.config.exec.kernel == MvmKernel::Cached && train.kind() == TrainKind::NestedUnary {
             return self.execute_block_delta(train, base, s0, ablock, viol);
         }
@@ -1403,6 +1444,68 @@ mod tests {
         let y_fast = cached.execute(&train, &mut Rng::from_seed(47)).unwrap();
         let y_ref = reference.execute(&train, &mut Rng::from_seed(47)).unwrap();
         assert_eq!(y_fast.as_slice(), y_ref.as_slice());
+    }
+
+    #[test]
+    fn packed_kernel_runs_nested_unary_dense_and_bitwise() {
+        // regression for the explicit kernel × schedule rules: Packed +
+        // NestedUnary must take the generic dense path (the delta
+        // schedule is Cached-only) and still be bitwise Reference.
+        // Cached's delta schedule accumulates in a different order and
+        // may drift ~1 ULP from the dense path, so Packed is compared to
+        // it only approximately. Tiling + c2c noise keep all paths honest.
+        let mut cfg = XbarConfig::functional(0.4);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        cfg.noise.device.c2c_sigma = 0.02;
+        cfg.noise.device.on_off_ratio = 20.0;
+        let w = random_pm1(&[20, 33], 48);
+        let (cached, reference) = kernel_pair(cfg, &w, 49);
+        let mut packed = cached.clone();
+        packed.set_kernel(MvmKernel::Packed);
+        assert_eq!(packed.config().exec.kernel, MvmKernel::Packed);
+        assert!(packed.packed_ready(), "rails deployment must pack");
+        let x = random_pm1(&[3, 33], 50);
+        let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+        assert_eq!(train.kind(), membit_encoding::TrainKind::NestedUnary);
+        let (y_p, stats_p) = packed
+            .execute_with_stats(&train, &mut Rng::from_seed(51))
+            .unwrap();
+        let (y_r, stats_r) = reference
+            .execute_with_stats(&train, &mut Rng::from_seed(51))
+            .unwrap();
+        assert_eq!(
+            y_p.as_slice(),
+            y_r.as_slice(),
+            "packed dense path must be bitwise reference"
+        );
+        // modeled hardware events must match the reference schedule
+        assert_eq!(stats_p, stats_r);
+        let y_c = cached.execute(&train, &mut Rng::from_seed(51)).unwrap();
+        for (p, c) in y_p.as_slice().iter().zip(y_c.as_slice()) {
+            // delta schedule reorders the accumulation: near, not bitwise
+            assert!((p - c).abs() <= 1e-4 * p.abs().max(1.0), "{p} vs {c}");
+        }
+    }
+
+    #[test]
+    fn packed_kernel_downgrades_on_realistic_devices_and_stays_bitwise() {
+        // d2d spread makes every tile ineligible: packed execution must
+        // transparently serve the cached loop's results — bitwise equal
+        // to Reference, never silently different
+        let mut cfg = XbarConfig::realistic(0.3);
+        cfg.tile_rows = 16;
+        cfg.tile_cols = 8;
+        let w = random_pm1(&[20, 33], 52);
+        let (cached, reference) = kernel_pair(cfg, &w, 53);
+        let mut packed = cached.clone();
+        packed.set_kernel(MvmKernel::Packed);
+        assert!(!packed.packed_ready(), "d2d deployment must not pack");
+        let x = random_pm1(&[2, 33], 54);
+        let train = BitSlicing::new(4).unwrap().encode_tensor(&x).unwrap();
+        let y_p = packed.execute(&train, &mut Rng::from_seed(55)).unwrap();
+        let y_r = reference.execute(&train, &mut Rng::from_seed(55)).unwrap();
+        assert_eq!(y_p.as_slice(), y_r.as_slice());
     }
 
     #[test]

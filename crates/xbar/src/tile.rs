@@ -12,13 +12,17 @@ use crate::Result;
 
 /// Which inner loop an analog MVM runs.
 ///
-/// Both kernels compute the same model; [`Cached`](MvmKernel::Cached) is
-/// the production fast path and [`Reference`](MvmKernel::Reference) the
-/// original per-cell formulation kept for differential testing. For
-/// binary (±1/0) inputs the two are **bitwise identical**: the cache
-/// stores exactly `(G⁺−G⁻)·attenuation/(G_on−G_off)` per cell, and
-/// multiplying that by ±1 is exact, so no accumulation order or rounding
-/// changes.
+/// All kernels compute the same model; [`Cached`](MvmKernel::Cached) is
+/// the production scalar fast path, [`Packed`](MvmKernel::Packed) the
+/// bit-parallel popcount path, and [`Reference`](MvmKernel::Reference)
+/// the original per-cell formulation kept for differential testing. For
+/// binary (±1/0) inputs all three are **bitwise identical**: the cache
+/// stores exactly `(G⁺−G⁻)·attenuation/(G_on−G_off)` per cell,
+/// multiplying that by ±1 is exact, and the packed kernel only engages
+/// when its integer reconstruction provably reproduces the sequential
+/// f32 accumulation bit for bit (see [`Tile::packed_ready`]) — otherwise
+/// it downgrades to the cached loop for that tile, never to a silently
+/// different result.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MvmKernel {
     /// Accumulate rows of the pre-materialized effective-weight matrix —
@@ -29,6 +33,18 @@ pub enum MvmKernel {
     /// Recompute `x·(G⁺−G⁻)·att/denom` from raw conductances per cell
     /// per pulse.
     Reference,
+    /// Bit-packed popcount accumulation: weight signs/activity and input
+    /// sign/valid planes live in `u64` words, one pulse column is a
+    /// handful of `AND`/`XOR` + `count_ones`, and the pre-noise sum is
+    /// reconstructed exactly as `(pos − neg)·c`. Engages per tile only
+    /// when every nonzero `|w_eff|` equals one uniform scale whose
+    /// integer multiples are exactly representable (rail-programmed
+    /// devices: no d2d spread, no IR drop, no partial drift); otherwise
+    /// the call downgrades to [`Cached`](MvmKernel::Cached), which is
+    /// itself bitwise-Reference for ±1/0 inputs. Noise is added by the
+    /// same keyed substreams afterwards, so draw order, the guard
+    /// column, and thread-count determinism are untouched.
+    Packed,
 }
 
 /// Derived per-cell quantities the reference kernel recomputes on every
@@ -53,6 +69,386 @@ struct WeightCache {
     /// summation keeps it bitwise equal to the reference kernel's
     /// accumulated scratch.
     col_sq: Vec<f32>,
+    /// Bit planes + uniform scales for [`MvmKernel::Packed`], rebuilt by
+    /// the same two hooks (`rebuild_cache` / `rebuild_cache_col`) every
+    /// mutator already calls — plane staleness is impossible for exactly
+    /// the reason cache staleness is.
+    packed: PackedPlanes,
+}
+
+/// Derived bit-plane state for [`MvmKernel::Packed`].
+///
+/// Layout: planes are **column-major** — column `j` owns words
+/// `j·words..(j+1)·words`, and bit `r % 64` of word `r / 64` covers row
+/// `r`. A pulse then reads the (shared) packed input planes once and
+/// streams each column's words linearly.
+///
+/// The scales are what make popcount reconstruction *bitwise* rather
+/// than merely close: `(pos − neg) as f32 * c` equals the reference
+/// kernel's sequential f32 accumulation iff every nonzero `|w_eff|` is
+/// bitwise `c` **and** every integer multiple `m·c` (`|m| ≤ rows`) is
+/// exactly representable — then every partial sum the reference forms is
+/// itself representable, so each round-to-nearest step is exact
+/// (induction over rows). The same argument applies to the c2c variance
+/// accumulation with the per-cell `G⁺²+G⁻²` scale.
+#[derive(Debug, Clone, Default)]
+struct PackedPlanes {
+    /// Words per column: `rows.div_ceil(64)`.
+    words: usize,
+    /// Column-major sign plane: bit set where `w_eff > 0`.
+    sign: Vec<u64>,
+    /// Column-major activity plane: bit set where `w_eff != 0`.
+    active: Vec<u64>,
+    /// Per-column popcount of `active`: when a pulse drives every row
+    /// (the common case for binary trains), `act = active` and this
+    /// precomputed count saves one popcount per word in the hot loop.
+    active_count: Vec<u32>,
+    /// The uniform nonzero weight magnitude `c` passing the exactness
+    /// check, or `None` when weights are heterogeneous (d2d spread, IR
+    /// drop, partial drift) — the packed kernel then downgrades to
+    /// [`MvmKernel::Cached`] for this tile.
+    scale: Option<f32>,
+    /// The uniform per-cell `G⁺²+G⁻²` passing the exactness check,
+    /// required over **all** cells (zero-weight pairs still contribute
+    /// read noise), or `None` — c2c-noisy MVMs then downgrade.
+    c2c_scale: Option<f32>,
+}
+
+/// Per-call scratch for the packed kernel's input planes, hoisted by
+/// batched entry points so packing never allocates in the pulse loop.
+/// For the sample-blocked batch path, `sign`/`valid` hold all samples'
+/// planes sample-major, `driven` the per-sample driven-row counts, and
+/// `out_t` the column-major staging buffer the hot loop writes
+/// sequentially before the per-sample transpose.
+#[derive(Debug, Default)]
+pub struct PackScratch {
+    sign: Vec<u64>,
+    valid: Vec<u64>,
+    driven: Vec<u32>,
+    out_t: Vec<f32>,
+}
+
+/// Whether every integer multiple `m·c` for `m ≤ max_m` rounds exactly:
+/// the f32 product must equal the infinitely precise product (computed
+/// in f64, exact because both mantissas fit well within f64's 53 bits
+/// for any realistic tile height).
+fn exact_multiples(c: f32, max_m: usize) -> bool {
+    if max_m > (1 << 24) {
+        return false; // m itself would no longer be exact in f32
+    }
+    let cd = f64::from(c);
+    (2..=max_m).all(|m| f64::from(m as f32 * c) == m as f64 * cd)
+}
+
+/// SWAR byte→bit compaction: each input byte is 0 or 1; the multiply
+/// places byte `i`'s bit at product bit `56 + i` (the shifted-add terms
+/// `8i + 7(8−j)` are pairwise distinct, so no carries), and the shift
+/// extracts the 8-bit mask. This is the scalar stand-in for `movmskps`,
+/// which is out of reach without intrinsics (`#![forbid(unsafe_code)]`).
+const PACK_MUL: u64 = 0x0102_0408_1020_4080;
+
+#[inline(always)]
+fn swar_mask64(bytes: &[u8; 64]) -> u64 {
+    let mut m = 0u64;
+    for (k, b8) in bytes.chunks_exact(8).enumerate() {
+        let w = u64::from_le_bytes(b8.try_into().expect("chunk of 8"));
+        m |= (w.wrapping_mul(PACK_MUL) >> 56) << (8 * k);
+    }
+    m
+}
+
+/// Packs one pulse drive vector into bit planes appended to
+/// `sign`/`valid` (one word per 64 rows, bit `r % 64` = row `r`):
+/// `valid` marks driven rows (`±1`), `sign` marks `+1` rows. Returns
+/// the driven-row count, or `None` — with the planes truncated back to
+/// `base` — when any element is not exactly `±1`/`0` (fractional
+/// amplitude drives are not representable in one bit).
+///
+/// The hot path works in two vectorizer-friendly passes per 64-row
+/// block: an elementwise pass on `f32::to_bits` patterns filling bool
+/// byte arrays (`+1.0 = 0x3F80_0000`, `-1.0 = 0xBF80_0000`, `±0` has a
+/// zero magnitude field), then the SWAR compaction above. Bitwise
+/// equivalent to the scalar tail loop, which handles the remainder.
+fn pack_pulse(x: &[f32], sign: &mut Vec<u64>, valid: &mut Vec<u64>) -> Option<u32> {
+    let base = sign.len();
+    let mut driven = 0u32;
+    let mut ok = true;
+    let mut blocks = x.chunks_exact(64);
+    for block in blocks.by_ref() {
+        let mut pos = [0u8; 64];
+        let mut val = [0u8; 64];
+        let mut bin = [0u8; 64];
+        for (i, &xi) in block.iter().enumerate() {
+            let t = xi.to_bits();
+            let mag = t & 0x7FFF_FFFF;
+            let one = u8::from(mag == 0x3F80_0000);
+            bin[i] = one | u8::from(mag == 0);
+            val[i] = one;
+            pos[i] = one & u8::from(t >> 31 == 0);
+        }
+        let mut all = u64::MAX;
+        for b8 in bin.chunks_exact(8) {
+            all &= u64::from_le_bytes(b8.try_into().expect("chunk of 8"));
+        }
+        ok &= all == 0x0101_0101_0101_0101;
+        let vw = swar_mask64(&val);
+        sign.push(swar_mask64(&pos));
+        valid.push(vw);
+        driven += vw.count_ones();
+    }
+    let rem = blocks.remainder();
+    if !rem.is_empty() {
+        let mut sw = 0u64;
+        let mut vw = 0u64;
+        for (b, &xi) in rem.iter().enumerate() {
+            let is_p = u64::from(xi == 1.0);
+            let is_n = u64::from(xi == -1.0);
+            ok &= (is_p | is_n | u64::from(xi == 0.0)) == 1;
+            sw |= is_p << b;
+            vw |= (is_p | is_n) << b;
+        }
+        sign.push(sw);
+        valid.push(vw);
+        driven += vw.count_ones();
+    }
+    if !ok {
+        sign.truncate(base);
+        valid.truncate(base);
+        return None;
+    }
+    Some(driven)
+}
+
+/// The popcount hot loop, full-drive case: every row carries ±1, so
+/// `act == active` and the act popcount is the plane's precomputed
+/// per-column count — one hardware popcount per word.
+///
+/// `pos − neg = act_count − 2·popcount(act & (sign ^ sign_x))`: the XOR
+/// marks negative products, the AND restricts to active cells.
+#[inline(always)]
+fn packed_columns_full_inner(p: &PackedPlanes, xsign: &[u64], out: &mut [f32], c: f32) {
+    // dispatch on the word count so the per-column word walk fully
+    // unrolls for the common tile heights (≤64, ≤128, ≤256 rows): with a
+    // runtime trip count the zip machinery costs more than the popcounts
+    match p.words.max(1) {
+        1 => packed_columns_full_const::<1>(p, xsign, out, c),
+        2 => packed_columns_full_const::<2>(p, xsign, out, c),
+        4 => packed_columns_full_const::<4>(p, xsign, out, c),
+        w => packed_columns_full_dyn(p, xsign, out, c, w),
+    }
+}
+
+#[inline(always)]
+fn packed_columns_full_const<const W: usize>(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    out: &mut [f32],
+    c: f32,
+) {
+    let sx: &[u64; W] = xsign[..W].try_into().expect("pulse plane width");
+    for ((o, (sign, active)), &count) in out
+        .iter_mut()
+        .zip(p.sign.chunks_exact(W).zip(p.active.chunks_exact(W)))
+        .zip(&p.active_count)
+    {
+        let mut neg = 0u32;
+        for k in 0..W {
+            neg += (active[k] & (sign[k] ^ sx[k])).count_ones();
+        }
+        *o = (count as i32 - 2 * neg as i32) as f32 * c;
+    }
+}
+
+#[inline(always)]
+fn packed_columns_full_dyn(p: &PackedPlanes, xsign: &[u64], out: &mut [f32], c: f32, words: usize) {
+    for ((o, (sign, active)), &count) in out
+        .iter_mut()
+        .zip(p.sign.chunks_exact(words).zip(p.active.chunks_exact(words)))
+        .zip(&p.active_count)
+    {
+        let mut neg = 0u32;
+        for ((&s, &a), &sx) in sign.iter().zip(active).zip(xsign) {
+            neg += (a & (s ^ sx)).count_ones();
+        }
+        *o = (count as i32 - 2 * neg as i32) as f32 * c;
+    }
+}
+
+/// The popcount hot loop, partial-drive case: undriven rows are masked
+/// out per word via the pulse's valid plane, and the act popcount is
+/// computed live.
+#[inline(always)]
+fn packed_columns_masked_inner(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    xvalid: &[u64],
+    out: &mut [f32],
+    c: f32,
+) {
+    match p.words.max(1) {
+        1 => packed_columns_masked_const::<1>(p, xsign, xvalid, out, c),
+        2 => packed_columns_masked_const::<2>(p, xsign, xvalid, out, c),
+        4 => packed_columns_masked_const::<4>(p, xsign, xvalid, out, c),
+        w => packed_columns_masked_dyn(p, xsign, xvalid, out, c, w),
+    }
+}
+
+#[inline(always)]
+fn packed_columns_masked_const<const W: usize>(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    xvalid: &[u64],
+    out: &mut [f32],
+    c: f32,
+) {
+    let sx: &[u64; W] = xsign[..W].try_into().expect("pulse plane width");
+    let vx: &[u64; W] = xvalid[..W].try_into().expect("pulse plane width");
+    for (o, (sign, active)) in out
+        .iter_mut()
+        .zip(p.sign.chunks_exact(W).zip(p.active.chunks_exact(W)))
+    {
+        let mut act_count = 0u32;
+        let mut neg = 0u32;
+        for k in 0..W {
+            let act = active[k] & vx[k];
+            act_count += act.count_ones();
+            neg += (act & (sign[k] ^ sx[k])).count_ones();
+        }
+        *o = (act_count as i32 - 2 * neg as i32) as f32 * c;
+    }
+}
+
+#[inline(always)]
+fn packed_columns_masked_dyn(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    xvalid: &[u64],
+    out: &mut [f32],
+    c: f32,
+    words: usize,
+) {
+    for (o, (sign, active)) in out
+        .iter_mut()
+        .zip(p.sign.chunks_exact(words).zip(p.active.chunks_exact(words)))
+    {
+        let mut act_count = 0u32;
+        let mut neg = 0u32;
+        for (((&s, &a), &sx), &v) in sign.iter().zip(active).zip(xsign).zip(xvalid) {
+            let act = a & v;
+            act_count += act.count_ones();
+            neg += (act & (s ^ sx)).count_ones();
+        }
+        *o = (act_count as i32 - 2 * neg as i32) as f32 * c;
+    }
+}
+
+// NB: `u64::count_ones` only compiles to the single-cycle `popcnt`
+// instruction when the target feature is enabled; the x86-64 *baseline*
+// lacks it, falling back to a ~15-op bithack that erases most of the
+// packed kernel's advantage. The workspace `.cargo/config.toml` enables
+// `-C target-feature=+popcnt` on x86-64 (universal on hardware since
+// 2008, and purely integer codegen — float results are untouched).
+
+/// The sample-blocked popcount loop for [`Tile::mvm_batch`], full-drive
+/// case: column-outer so each column's plane words load once and stay in
+/// registers across the whole sample block, with the per-column results
+/// staged column-major in `out_t` (`cols × n`) so the inner loop writes
+/// sequentially. `xsign` is sample-major (`n × words`).
+#[inline(always)]
+fn packed_batch_full_inner(p: &PackedPlanes, xsign: &[u64], n: usize, out_t: &mut [f32], c: f32) {
+    match p.words.max(1) {
+        1 => packed_batch_full_const::<1>(p, xsign, n, out_t, c),
+        2 => packed_batch_full_const::<2>(p, xsign, n, out_t, c),
+        4 => packed_batch_full_const::<4>(p, xsign, n, out_t, c),
+        w => packed_batch_full_dyn(p, xsign, n, out_t, c, w),
+    }
+}
+
+#[inline(always)]
+fn packed_batch_full_const<const W: usize>(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    n: usize,
+    out_t: &mut [f32],
+    c: f32,
+) {
+    for (((sign, active), &count), col_out) in p
+        .sign
+        .chunks_exact(W)
+        .zip(p.active.chunks_exact(W))
+        .zip(&p.active_count)
+        .zip(out_t.chunks_exact_mut(n))
+    {
+        for (sx, o) in xsign.chunks_exact(W).zip(col_out.iter_mut()) {
+            let mut neg = 0u32;
+            for k in 0..W {
+                neg += (active[k] & (sign[k] ^ sx[k])).count_ones();
+            }
+            *o = (count as i32 - 2 * neg as i32) as f32 * c;
+        }
+    }
+}
+
+#[inline(always)]
+fn packed_batch_full_dyn(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    n: usize,
+    out_t: &mut [f32],
+    c: f32,
+    words: usize,
+) {
+    for (((sign, active), &count), col_out) in p
+        .sign
+        .chunks_exact(words)
+        .zip(p.active.chunks_exact(words))
+        .zip(&p.active_count)
+        .zip(out_t.chunks_exact_mut(n))
+    {
+        for (sx, o) in xsign.chunks_exact(words).zip(col_out.iter_mut()) {
+            let mut neg = 0u32;
+            for ((&sw, &aw), &sxw) in sign.iter().zip(active).zip(sx) {
+                neg += (aw & (sw ^ sxw)).count_ones();
+            }
+            *o = (count as i32 - 2 * neg as i32) as f32 * c;
+        }
+    }
+}
+
+/// The sample-blocked popcount loop, partial-drive case: like
+/// [`packed_batch_full_inner`] but masking each sample's undriven rows
+/// with its valid plane and counting active cells live.
+#[inline(always)]
+fn packed_batch_masked_inner(
+    p: &PackedPlanes,
+    xsign: &[u64],
+    xvalid: &[u64],
+    n: usize,
+    out_t: &mut [f32],
+    c: f32,
+) {
+    let words = p.words.max(1);
+    for ((sign, active), col_out) in p
+        .sign
+        .chunks_exact(words)
+        .zip(p.active.chunks_exact(words))
+        .zip(out_t.chunks_exact_mut(n))
+    {
+        for ((sx, sv), o) in xsign
+            .chunks_exact(words)
+            .zip(xvalid.chunks_exact(words))
+            .zip(col_out.iter_mut())
+        {
+            let mut act_count = 0u32;
+            let mut neg = 0u32;
+            for (((&sw, &aw), &sxw), &svw) in sign.iter().zip(active).zip(sx).zip(sv) {
+                let act = aw & svw;
+                act_count += act.count_ones();
+                neg += (act & (sw ^ sxw)).count_ones();
+            }
+            *o = (act_count as i32 - 2 * neg as i32) as f32 * c;
+        }
+    }
 }
 
 /// The ABFT checksum column of an armed tile: a snapshot of the per-row
@@ -235,6 +631,7 @@ impl Tile {
                 w_eff: vec![0.0; cells],
                 g_sq: vec![0.0; cells],
                 col_sq: vec![0.0; cols],
+                packed: PackedPlanes::default(),
             },
             guard: None,
             saf: Vec::new(),
@@ -278,6 +675,7 @@ impl Tile {
                 .map(|row| self.cache.g_sq[row * self.cols + col])
                 .sum();
         }
+        self.rebuild_packed();
     }
 
     /// Recomputes the [`WeightCache`] entries of a single column — the
@@ -293,6 +691,64 @@ impl Tile {
         self.cache.col_sq[col] = (0..self.rows)
             .map(|row| self.cache.g_sq[row * self.cols + col])
             .sum();
+        // the uniform-scale verdicts are global properties of the tile,
+        // so even a one-column patch re-derives the planes in full —
+        // mutations are orders of magnitude rarer than pulses
+        self.rebuild_packed();
+    }
+
+    /// Rebuilds the packed bit planes and uniform-scale verdicts from the
+    /// freshly updated [`WeightCache`]. Called by `rebuild_cache` /
+    /// `rebuild_cache_col` — i.e. by **every** mutator — so the planes
+    /// can never be stale while the scalar cache is fresh.
+    fn rebuild_packed(&mut self) {
+        let words = self.rows.div_ceil(64);
+        let WeightCache {
+            w_eff,
+            g_sq,
+            packed,
+            ..
+        } = &mut self.cache;
+        packed.words = words;
+        packed.sign.clear();
+        packed.sign.resize(self.cols * words, 0);
+        packed.active.clear();
+        packed.active.resize(self.cols * words, 0);
+        let mut mag: Option<f32> = None;
+        let mut uniform = true;
+        for row in 0..self.rows {
+            let bit = 1u64 << (row % 64);
+            let word = row / 64;
+            for col in 0..self.cols {
+                let w = w_eff[row * self.cols + col];
+                if w == 0.0 {
+                    continue;
+                }
+                let slot = col * words + word;
+                packed.active[slot] |= bit;
+                if w > 0.0 {
+                    packed.sign[slot] |= bit;
+                }
+                let m = w.abs();
+                match mag {
+                    None => mag = Some(m),
+                    Some(c) if c.to_bits() == m.to_bits() => {}
+                    Some(_) => uniform = false,
+                }
+            }
+        }
+        packed.active_count.clear();
+        packed
+            .active_count
+            .extend(packed.active.chunks_exact(words.max(1)).map(|col| {
+                col.iter().map(|w| w.count_ones()).sum::<u32>()
+            }));
+        // an all-zero tile packs trivially (any scale reconstructs 0)
+        let c = mag.unwrap_or(1.0);
+        packed.scale = (uniform && exact_multiples(c, self.rows)).then_some(c);
+        let q = g_sq.first().copied().unwrap_or(0.0);
+        let q_uniform = g_sq.iter().all(|v| v.to_bits() == q.to_bits());
+        packed.c2c_scale = (q_uniform && exact_multiples(q, self.rows)).then_some(q);
     }
 
     /// The pair of ON-targets for cell pair `idx` in column `col` under
@@ -402,7 +858,8 @@ impl Tile {
         }
         let c2c = self.device.c2c_sigma > 0.0;
         let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
-        self.mvm_kernel(kernel, x, noise, rng, out, &mut c2c_var);
+        let mut scratch = PackScratch::default();
+        self.mvm_kernel(kernel, x, noise, rng, out, &mut c2c_var, &mut scratch);
         Ok(())
     }
 
@@ -450,17 +907,120 @@ impl Tile {
         }
         let c2c = self.device.c2c_sigma > 0.0;
         let mut c2c_var = vec![0.0f32; if c2c { self.cols } else { 0 }];
+        let mut scratch = PackScratch::default();
+        if kernel == MvmKernel::Packed
+            && self.mvm_batch_packed(xs, stride, offset, noise, rngs, out, &mut c2c_var, &mut scratch)
+        {
+            return Ok(());
+        }
         for (s, rng) in rngs.iter_mut().enumerate() {
             let x = &xs[s * stride + offset..s * stride + offset + self.rows];
             let o = &mut out[s * self.cols..(s + 1) * self.cols];
-            self.mvm_kernel(kernel, x, noise, rng, o, &mut c2c_var);
+            self.mvm_kernel(kernel, x, noise, rng, o, &mut c2c_var, &mut scratch);
         }
         Ok(())
     }
 
+    /// The sample-blocked popcount path for a whole [`mvm_batch`]
+    /// (Self::mvm_batch) block: packs every sample's input planes, runs
+    /// the column-outer batch loops, then applies each sample's keyed
+    /// noise in order. Bitwise identical to running
+    /// [`accumulate_packed`](Self::accumulate_packed) per sample — the
+    /// per-column word walk and the final `(count − 2·neg)·c` rounding
+    /// are the same — but the plane words load once per column for the
+    /// whole block. Returns `false` (leaving `out` untouched) when the
+    /// planes or any sample's drive pattern are ineligible; the caller
+    /// then runs the per-sample loop, which downgrades sample-by-sample.
+    #[allow(clippy::too_many_arguments)]
+    fn mvm_batch_packed(
+        &self,
+        xs: &[f32],
+        stride: usize,
+        offset: usize,
+        noise: &NoiseSpec,
+        rngs: &mut [Rng],
+        out: &mut [f32],
+        c2c_var: &mut [f32],
+        scratch: &mut PackScratch,
+    ) -> bool {
+        let p = &self.cache.packed;
+        let Some(c) = p.scale else { return false };
+        let need_c2c = !c2c_var.is_empty();
+        let q = match (need_c2c, p.c2c_scale) {
+            (true, Some(q)) => q,
+            (true, None) => return false,
+            (false, _) => 0.0,
+        };
+        let n = rngs.len();
+        scratch.sign.clear();
+        scratch.valid.clear();
+        scratch.driven.clear();
+        let mut all_full = true;
+        for s in 0..n {
+            let x = &xs[s * stride + offset..s * stride + offset + self.rows];
+            let Some(driven) = pack_pulse(x, &mut scratch.sign, &mut scratch.valid) else {
+                return false;
+            };
+            all_full &= driven as usize == self.rows;
+            scratch.driven.push(driven);
+        }
+        scratch.out_t.clear();
+        scratch.out_t.resize(self.cols * n, 0.0);
+        if all_full {
+            packed_batch_full_inner(p, &scratch.sign, n, &mut scratch.out_t, c);
+        } else {
+            packed_batch_masked_inner(p, &scratch.sign, &scratch.valid, n, &mut scratch.out_t, c);
+        }
+        for (s, rng) in rngs.iter_mut().enumerate() {
+            let o = &mut out[s * self.cols..(s + 1) * self.cols];
+            for (oj, col) in o.iter_mut().zip(scratch.out_t.chunks_exact(n)) {
+                *oj = col[s];
+            }
+            if need_c2c {
+                c2c_var.fill(scratch.driven[s] as f32 * q);
+            }
+            self.apply_sign_and_noise(noise, rng, o, c2c_var);
+        }
+        true
+    }
+
+    /// The pre-noise accumulation step of one pulse MVM — the part that
+    /// actually differs between kernels. Fills `out` (`len == cols`)
+    /// with the raw signed column sums for drive vector `x`
+    /// (`len == rows`) and, when `c2c_var` is non-empty (`len == cols`),
+    /// the per-column cycle-to-cycle variance numerators. Polarity,
+    /// noise draws, and ADC are **not** applied — those are a shared
+    /// epilogue identical across kernels. Public so `bench_engine` can
+    /// time the kernels themselves differentially; [`mvm`](Self::mvm)
+    /// and [`mvm_batch`](Self::mvm_batch) remain the execution entry
+    /// points.
+    pub fn accumulate(
+        &self,
+        kernel: MvmKernel,
+        x: &[f32],
+        out: &mut [f32],
+        c2c_var: &mut [f32],
+        scratch: &mut PackScratch,
+    ) {
+        match kernel {
+            MvmKernel::Cached => self.accumulate_cached(x, out, c2c_var),
+            MvmKernel::Reference => self.accumulate_reference(x, out, c2c_var),
+            MvmKernel::Packed => {
+                if !self.accumulate_packed(x, out, c2c_var, scratch) {
+                    self.accumulate_cached(x, out, c2c_var);
+                }
+            }
+        }
+    }
+
     /// The shared MVM inner loop: `x.len() == rows`, `out.len() == cols`,
     /// and `c2c_var.len() == cols` exactly when cycle-to-cycle noise is
-    /// enabled (it is used as scratch and re-zeroed here).
+    /// enabled (it is used as scratch and re-zeroed here). `scratch` is
+    /// the packed kernel's input-plane buffer, hoisted so batched callers
+    /// amortize its allocation.
+    // the tile-MVM hot path: positional slices beat a params struct
+    // rebuilt per pulse per sample
+    #[allow(clippy::too_many_arguments)]
     fn mvm_kernel(
         &self,
         kernel: MvmKernel,
@@ -469,12 +1029,75 @@ impl Tile {
         rng: &mut Rng,
         out: &mut [f32],
         c2c_var: &mut [f32],
+        scratch: &mut PackScratch,
     ) {
-        match kernel {
-            MvmKernel::Cached => self.accumulate_cached(x, out, c2c_var),
-            MvmKernel::Reference => self.accumulate_reference(x, out, c2c_var),
-        }
+        // the Packed arm inside `accumulate` is the documented downgrade:
+        // heterogeneous weights or fractional drives (amplitude encoding)
+        // take the cached loop, which is itself bitwise-Reference for
+        // ±1/0 inputs — never a silently different result
+        self.accumulate(kernel, x, out, c2c_var, scratch);
         self.apply_sign_and_noise(noise, rng, out, c2c_var);
+    }
+
+    /// Whether [`MvmKernel::Packed`] genuinely engages on this tile:
+    /// the uniform-scale exactness verdicts hold for the weight plane
+    /// and — when `need_c2c` (the device draws cycle-to-cycle noise) —
+    /// for the variance plane too. When `false`, packed execution
+    /// transparently serves the cached kernel's bitwise-identical
+    /// results instead; this probe exists so benches and tests can
+    /// assert which inner loop actually ran.
+    pub fn packed_ready(&self, need_c2c: bool) -> bool {
+        let p = &self.cache.packed;
+        p.scale.is_some() && (!need_c2c || p.c2c_scale.is_some())
+    }
+
+    /// Popcount accumulation. Returns `false` — without touching `out` —
+    /// when the tile's planes or this pulse's drive pattern are
+    /// ineligible, so the caller can fall back to the cached loop.
+    ///
+    /// Per column `j` with packed input planes (`valid`, `sign_x`):
+    /// `act = active_j & valid` selects driven nonzero-weight cells,
+    /// `diff = sign_j ^ sign_x` marks negative products, and the exact
+    /// pre-noise sum is `(popcount(act & !diff) − popcount(act & diff))·c`.
+    /// The c2c variance is `driven·q` for every column (all cells share
+    /// `q`, including zero-weight pairs), preserving the reference
+    /// kernel's draw gating bit for bit.
+    fn accumulate_packed(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        c2c_var: &mut [f32],
+        scratch: &mut PackScratch,
+    ) -> bool {
+        let p = &self.cache.packed;
+        let Some(c) = p.scale else { return false };
+        let need_c2c = !c2c_var.is_empty();
+        let q = match (need_c2c, p.c2c_scale) {
+            (true, Some(q)) => q,
+            (true, None) => return false,
+            (false, _) => 0.0,
+        };
+        scratch.sign.clear();
+        scratch.valid.clear();
+        let Some(driven) = pack_pulse(x, &mut scratch.sign, &mut scratch.valid) else {
+            return false; // fractional drive: not representable in one bit
+        };
+        // exactness in both loops below comes from the plane's multiples
+        // check: every true partial product is representable, so the
+        // single final rounding lands on the same bits as the reference
+        // kernel's sequence of exact accumulation steps
+        if driven as usize == self.rows {
+            // full drive (every row ±1, the common case for binary
+            // trains): act == active, so the act popcount collapses to
+            // the precomputed per-column count
+            packed_columns_full_inner(p, &scratch.sign, out, c);
+        } else {
+            packed_columns_masked_inner(p, &scratch.sign, &scratch.valid, out, c);
+        }
+        if need_c2c {
+            c2c_var.fill(driven as f32 * q);
+        }
+        true
     }
 
     /// Original accumulation: recompute the effective weight of every
@@ -1516,6 +2139,188 @@ mod tests {
             rng_a.normal(0.0, 1.0).to_bits(),
             rng_b.normal(0.0, 1.0).to_bits()
         );
+    }
+
+    /// Rail-programmed device (no d2d spread) with a finite on/off
+    /// ratio: both conductance rails are exact, so the packed kernel's
+    /// uniform-scale preconditions hold even through stuck cells.
+    fn rails_device() -> DeviceModel {
+        let mut device = DeviceModel::ideal();
+        device.on_off_ratio = 20.0;
+        device
+    }
+
+    #[test]
+    fn packed_kernel_is_bitwise_reference_on_rails() {
+        let mut device = rails_device();
+        device.stuck_on_rate = 0.1;
+        device.stuck_off_rate = 0.1;
+        let mut rng = Rng::from_seed(51);
+        let w = Tensor::from_vec(
+            (0..70 * 3).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect(),
+            &[70, 3], // spans two u64 words per column
+        )
+        .unwrap();
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        tile.flip_column(1, &mut rng).unwrap();
+        assert!(tile.packed_ready(false), "rails must pack");
+        let noise = NoiseSpec::functional(0.4);
+        let x: Vec<f32> = (0..70)
+            .map(|i| [1.0, -1.0, 0.0][i % 3])
+            .collect();
+        let (mut a, mut b) = ([0.0f32; 3], [0.0f32; 3]);
+        let mut rng_a = Rng::from_seed(99);
+        let mut rng_b = Rng::from_seed(99);
+        tile.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Packed).unwrap();
+        tile.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Reference).unwrap();
+        assert_eq!(a, b, "packed must be bitwise reference on rails");
+        assert_eq!(
+            rng_a.normal(0.0, 1.0).to_bits(),
+            rng_b.normal(0.0, 1.0).to_bits(),
+            "draw order must stay aligned"
+        );
+    }
+
+    #[test]
+    fn packed_kernel_reconstructs_c2c_variance_bitwise() {
+        // all-healthy rails + c2c read noise: the variance plane is
+        // uniform, so the packed kernel must reproduce the aggregated
+        // draws (values *and* gating) bit for bit
+        let mut device = rails_device();
+        device.c2c_sigma = 0.05;
+        let mut rng = Rng::from_seed(52);
+        let w = Tensor::from_vec(
+            (0..20).map(|i| if i % 4 == 0 { -1.0 } else { 1.0 }).collect(),
+            &[5, 4],
+        )
+        .unwrap();
+        let tile = Tile::program(&w, &device, &mut rng).unwrap();
+        assert!(tile.packed_ready(true), "healthy rails must pack with c2c");
+        let noise = NoiseSpec::functional(0.2);
+        for x in [[1.0, -1.0, 0.0, 1.0, -1.0], [0.0; 5]] {
+            let (mut a, mut b) = ([0.0f32; 4], [0.0f32; 4]);
+            let mut rng_a = Rng::from_seed(7);
+            let mut rng_b = Rng::from_seed(7);
+            tile.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Packed).unwrap();
+            tile.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Reference).unwrap();
+            assert_eq!(a, b, "c2c reconstruction must be bitwise for x = {x:?}");
+            assert_eq!(
+                rng_a.normal(0.0, 1.0).to_bits(),
+                rng_b.normal(0.0, 1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_downgrades_on_heterogeneous_weights_and_stays_bitwise() {
+        // d2d spread / IR drop / stuck-broken c2c uniformity: the packed
+        // kernel must refuse to engage and serve the cached loop —
+        // bitwise the reference, never a silently different result
+        let mut rng = Rng::from_seed(53);
+        let tile = Tile::program(&weights(), &lossy_device(), &mut rng).unwrap();
+        assert!(!tile.packed_ready(false), "d2d weights must not pack");
+        assert!(!tile.packed_ready(true));
+        let noise = NoiseSpec::functional(0.3);
+        let x = [1.0, -1.0, 1.0];
+        let (mut a, mut b) = ([0.0f32; 2], [0.0f32; 2]);
+        let mut rng_a = Rng::from_seed(3);
+        let mut rng_b = Rng::from_seed(3);
+        tile.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Packed).unwrap();
+        tile.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Reference).unwrap();
+        assert_eq!(a, b, "downgraded packed must still be bitwise reference");
+
+        // a lone stuck cell breaks the *variance* uniformity only: the
+        // weight plane still packs (w_eff stays on ±1/0), the c2c plane
+        // refuses (that pair's G⁺²+G⁻² differs from its neighbors')
+        let mut device = rails_device();
+        device.c2c_sigma = 0.05;
+        let mut stuck = Tile::program(&weights(), &device, &mut rng).unwrap();
+        stuck
+            .inject_fault(0, 0, CellSide::Neg, CellHealth::StuckOn)
+            .unwrap();
+        assert!(stuck.packed_ready(false));
+        assert!(!stuck.packed_ready(true), "stuck pairs must break c2c packing");
+        let (mut a, mut b) = ([0.0f32; 2], [0.0f32; 2]);
+        let mut rng_a = Rng::from_seed(4);
+        let mut rng_b = Rng::from_seed(4);
+        stuck.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Packed).unwrap();
+        stuck.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Reference).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_falls_back_on_fractional_inputs() {
+        // amplitude-style fractional drives cannot be packed into one
+        // bit; the call must fall back to the cached loop mid-batch
+        let mut rng = Rng::from_seed(54);
+        let tile = Tile::program(&weights(), &rails_device(), &mut rng).unwrap();
+        assert!(tile.packed_ready(false));
+        let noise = NoiseSpec::functional(0.3);
+        let x = [0.5, -1.0, 0.25];
+        let (mut a, mut b) = ([0.0f32; 2], [0.0f32; 2]);
+        let mut rng_a = Rng::from_seed(9);
+        let mut rng_b = Rng::from_seed(9);
+        tile.mvm_with(&x, &noise, &mut rng_a, &mut a, MvmKernel::Packed).unwrap();
+        tile.mvm_with(&x, &noise, &mut rng_b, &mut b, MvmKernel::Cached).unwrap();
+        assert_eq!(a, b, "fractional drives must serve the cached results");
+    }
+
+    #[test]
+    fn every_mutation_keeps_the_packed_planes_fresh() {
+        // mirror of every_mutation_keeps_the_cache_fresh on a rails
+        // device, where the packed kernel genuinely engages: a mutator
+        // that patched the scalar cache but left the bit planes stale
+        // would diverge here
+        let mut device = rails_device();
+        device.stuck_off_rate = 0.15;
+        let mut rng = Rng::from_seed(55);
+        let w = weights();
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        let check = |tile: &Tile, what: &str| {
+            let x = [1.0, -1.0, 1.0];
+            let (mut a, mut b) = ([0.0f32; 2], [0.0f32; 2]);
+            let mut rng_a = Rng::from_seed(6);
+            let mut rng_b = Rng::from_seed(6);
+            tile.mvm_with(&x, &NoiseSpec::functional(0.2), &mut rng_a, &mut a, MvmKernel::Packed)
+                .unwrap();
+            tile.mvm_with(
+                &x,
+                &NoiseSpec::functional(0.2),
+                &mut rng_b,
+                &mut b,
+                MvmKernel::Reference,
+            )
+            .unwrap();
+            assert_eq!(a, b, "stale packed planes after {what}");
+        };
+        check(&tile, "program");
+        assert!(tile.packed_ready(false));
+        tile.inject_fault(1, 0, CellSide::Neg, CellHealth::StuckOn).unwrap();
+        check(&tile, "inject_fault");
+        tile.upset_cell(0, 1, CellSide::Pos, false).unwrap();
+        check(&tile, "upset_cell");
+        tile.flip_column(1, &mut rng).unwrap();
+        check(&tile, "flip_column");
+        tile.replace_row(0, &mut rng).unwrap();
+        check(&tile, "replace_row");
+        tile.replace_col(0, &mut rng).unwrap();
+        check(&tile, "replace_col");
+        let mut stats = ProgramStats::default();
+        tile.reprogram_pair(2, 1, &WriteVerify::standard(), &mut rng, &mut stats)
+            .unwrap();
+        check(&tile, "reprogram_pair");
+        tile.refresh(None, &mut rng, &mut stats);
+        check(&tile, "refresh");
+        assert!(tile.packed_ready(false), "rails survive the mutation gauntlet");
+        // aging breaks rail uniformity: the planes must *notice* (no
+        // stale Some(scale)) and execution must downgrade, still bitwise
+        tile.age(500.0, 0.05, 0.01, &mut rng);
+        check(&tile, "age");
+        assert!(!tile.packed_ready(false), "per-cell drift must unpack the tile");
+        let map: Vec<f32> = (0..6).map(|i| 1.0 - 0.02 * i as f32).collect();
+        tile.scale_attenuation(&map);
+        check(&tile, "scale_attenuation");
+        assert!(!tile.packed_ready(false));
     }
 
     #[test]

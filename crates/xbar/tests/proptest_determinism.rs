@@ -4,8 +4,8 @@
 //! `(pulse, sample, row_tile, col_tile)` (programming: `(row_tile,
 //! col_tile)`), so programming + execution must be **bitwise identical**
 //! for every `max_threads` setting — across tile geometries, encoders,
-//! noise models **and both MVM kernels** (the cached fast path reorders
-//! its loops but not its substream keys) — and the closed-form variance
+//! noise models **and all three MVM kernels** (the cached and packed fast
+//! paths reorder their loops but not their substream keys) — and the closed-form variance
 //! laws (paper Eqs. 2/3) must keep holding when the Monte-Carlo runs
 //! through the parallel path.
 
@@ -73,7 +73,7 @@ proptest! {
         cfg.tile_rows = tile_rows;
         cfg.tile_cols = tile_cols;
 
-        for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+        for kernel in [MvmKernel::Cached, MvmKernel::Packed, MvmKernel::Reference] {
             let (y1, s1) = run(&w, &train, cfg, seed + 1000, 1, kernel);
             for threads in [2usize, 8] {
                 let (yt, st) = run(&w, &train, cfg, seed + 1000, threads, kernel);
@@ -127,7 +127,7 @@ proptest! {
             let (y, stats) = engine.execute_guarded(&train, &mut rng).unwrap();
             (y.as_slice().to_vec(), stats, engine.is_degraded())
         };
-        for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+        for kernel in [MvmKernel::Cached, MvmKernel::Packed, MvmKernel::Reference] {
             let (y1, s1, d1) = run_guarded(1, kernel);
             for threads in [2usize, 8] {
                 let (yt, st, dt) = run_guarded(threads, kernel);
@@ -191,7 +191,7 @@ fn guard_retry_path_is_bitwise_identical_across_thread_counts() {
         let (y, stats) = engine.execute_guarded(&train, &mut rng).unwrap();
         (y.as_slice().to_vec(), stats)
     };
-    for kernel in [MvmKernel::Cached, MvmKernel::Reference] {
+    for kernel in [MvmKernel::Cached, MvmKernel::Packed, MvmKernel::Reference] {
         let (y1, s1) = run_guarded(1, kernel);
         assert!(s1.guard.retries > 0, "fixture must exercise retries ({kernel:?})");
         assert!(s1.guard.retry_successes > 0, "{:?}", s1.guard);
@@ -273,4 +273,56 @@ fn monte_carlo_variance_matches_eq2_under_parallel_execution() {
         (var - expect).abs() < 0.15 * expect + 0.02,
         "var {var} vs {expect}"
     );
+}
+
+/// The full escalation ladder (retry → refresh → remap) under the
+/// popcount kernel: a rails fixture with a post-deployment fault burst
+/// must trip checksums, escalate past retries to tile remaps, and the
+/// whole run — detection, repair, and the final outputs — must be
+/// bitwise identical at 1 vs 4 threads. Ladder repairs reprogram cells
+/// (rebuilding the packed planes mid-flight), so this also fuzzes plane
+/// freshness along the recovery path.
+#[test]
+fn packed_guard_ladder_is_bitwise_identical_across_thread_counts() {
+    let mut cfg = XbarConfig::functional(0.05);
+    cfg.guard = Some(GuardPolicy::standard());
+    cfg.tile_rows = 16;
+    cfg.tile_cols = 16;
+    cfg.noise.device.on_off_ratio = 20.0;
+    let w = pm1_matrix(16, 32, 61);
+    let x = pm1_matrix(4, 32, 62);
+    let train = Thermometer::new(8).unwrap().encode_tensor(&x).unwrap();
+
+    let run_guarded = |threads: usize| {
+        let mut cfg = cfg;
+        cfg.exec = ExecOptions {
+            max_threads: threads,
+            samples_per_thread: 1,
+            kernel: MvmKernel::Packed,
+        };
+        let mut rng = Rng::from_seed(63);
+        let mut engine = CrossbarLinear::program(&w, &cfg, &mut rng).unwrap();
+        assert!(engine.packed_ready(), "rails fixture must pack");
+        // a burst of stuck-off cells: each shifts its column checksum by
+        // ~1 per pulse, far outside the 6σ tolerance at σ = 0.05
+        for k in 0..12 {
+            engine
+                .inject_fault(2 * k + 1, k, CellSide::Pos, CellHealth::StuckOff)
+                .unwrap();
+        }
+        let (y, stats) = engine.execute_guarded(&train, &mut rng).unwrap();
+        (y.as_slice().to_vec(), stats, engine.is_degraded())
+    };
+    let (y1, s1, d1) = run_guarded(1);
+    assert!(s1.guard.violations > 0, "{:?}", s1.guard);
+    assert!(
+        s1.guard.tile_remaps > 0,
+        "persistent faults must escalate past retry/refresh: {:?}",
+        s1.guard
+    );
+    assert!(!d1, "remap should repair this fixture");
+    let (y4, s4, d4) = run_guarded(4);
+    assert_eq!(y1, y4, "packed ladder outputs diverged at 4 threads");
+    assert_eq!(s1, s4, "packed ladder stats diverged at 4 threads");
+    assert_eq!(d1, d4);
 }

@@ -1,21 +1,28 @@
-//! Differential testing of the cached-weight MVM fast path.
+//! Differential testing of the cached-weight and bit-packed MVM fast
+//! paths.
 //!
-//! Three properties guard the `MvmKernel::Cached` path (and the
-//! incremental pulse-delta schedule it unlocks for nested-unary trains):
+//! Four properties guard the `MvmKernel::Cached` and `MvmKernel::Packed`
+//! paths (and the incremental pulse-delta schedule Cached unlocks for
+//! nested-unary trains):
 //!
-//! 1. **Kernel agreement** — on identical hardware, cached and reference
-//!    execution agree within 1e-5 across random tile geometries,
-//!    encoders (thermometer, bit-sliced, PLA, amplitude) and noise
-//!    models, with exactly equal event stats. Noise substreams are keyed
-//!    by `(pulse, sample, row_tile, col_tile)`, so the comparison is
-//!    noise-to-noise, not just mean-to-mean.
-//! 2. **No stale caches** — after any random sequence of tile mutations
-//!    (aging, polarity flips, spare-line replacement, escalated
-//!    reprogramming, refresh, fault injection), the cached kernel still
-//!    agrees bitwise with the reference kernel, which reads raw
-//!    conductances and cannot be stale. Every mutator must rebuild or
-//!    patch the cache eagerly for this to hold.
-//! 3. **Guard composition** — under checksum-guarded execution, the
+//! 1. **Kernel agreement** — on identical hardware, cached/packed and
+//!    reference execution agree within 1e-5 across random tile
+//!    geometries, encoders (thermometer, bit-sliced, PLA, amplitude) and
+//!    noise models, with exactly equal event stats. Noise substreams are
+//!    keyed by `(pulse, sample, row_tile, col_tile)`, so the comparison
+//!    is noise-to-noise, not just mean-to-mean.
+//! 2. **Packed bitwise contract** — on rail-programmed devices with
+//!    binary (±1/0) pulse trains, the popcount kernel is *bitwise*
+//!    identical to Reference, including the RNG draw order of every
+//!    noise stream (output noise and gated c2c draws).
+//! 3. **No stale caches or planes** — after any random sequence of tile
+//!    mutations (aging, polarity flips, spare-line replacement,
+//!    escalated reprogramming, refresh, fault injection), the fast
+//!    kernels still agree bitwise with the reference kernel, which reads
+//!    raw conductances and cannot be stale. Every mutator must rebuild
+//!    or patch the cache — and the packed planes riding on it — eagerly
+//!    for this to hold.
+//! 4. **Guard composition** — under checksum-guarded execution, the
 //!    cached kernel never masks a violation the reference kernel
 //!    catches, even when faults are injected mid-sequence.
 
@@ -81,15 +88,52 @@ proptest! {
         cfg.tile_rows = tile_rows;
         cfg.tile_cols = tile_cols;
 
-        let (y_fast, s_fast) = run(&w, &train, cfg, seed + 2000, MvmKernel::Cached);
         let (y_ref, s_ref) = run(&w, &train, cfg, seed + 2000, MvmKernel::Reference);
-        prop_assert_eq!(s_fast, s_ref, "event stats must not depend on the kernel");
-        for (i, (a, b)) in y_fast.iter().zip(&y_ref).enumerate() {
-            prop_assert!(
-                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
-                "element {}: cached {} vs reference {}", i, a, b
-            );
+        for kernel in [MvmKernel::Cached, MvmKernel::Packed] {
+            let (y_fast, s_fast) = run(&w, &train, cfg, seed + 2000, kernel);
+            prop_assert_eq!(s_fast, s_ref, "event stats must not depend on the kernel");
+            for (i, (a, b)) in y_fast.iter().zip(&y_ref).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                    "element {}: {:?} {} vs reference {}", i, kernel, a, b
+                );
+            }
         }
+    }
+
+    #[test]
+    fn packed_execution_is_bitwise_reference_on_rails(
+        seed in 0u64..400,
+        tile_rows in 3usize..12,
+        tile_cols in 3usize..12,
+        encoder in 0usize..3,
+        c2c in 0usize..2,
+        batch in 1usize..6,
+    ) {
+        // rail-programmed hardware (ideal device, d2d = 0) + binary ±1/0
+        // pulse trains: the popcount kernel must reproduce the reference
+        // loop *bitwise*, RNG draw order included. Fractional inputs and
+        // heterogeneous devices are covered by the tolerance test above
+        // (where Packed transparently downgrades per call / per tile).
+        let w = pm1_matrix(10, 14, seed);
+        let x = Tensor::from_fn(&[batch, 14], |i| {
+            (((i * 5 + seed as usize) % 9) as f32 / 4.0 - 1.0).clamp(-1.0, 1.0)
+        });
+        let train = match encoder {
+            0 => Thermometer::new(6).unwrap().encode_tensor(&x).unwrap(),
+            1 => BitSlicing::new(3).unwrap().encode_tensor(&x).unwrap(),
+            _ => PlaThermometer::new(9, 7).unwrap().encode_tensor(&x).unwrap(),
+        };
+        let mut cfg = XbarConfig::functional(0.3);
+        cfg.noise.device.on_off_ratio = 20.0;
+        cfg.noise.device.c2c_sigma = if c2c == 1 { 0.03 } else { 0.0 };
+        cfg.tile_rows = tile_rows;
+        cfg.tile_cols = tile_cols;
+
+        let (y_packed, s_packed) = run(&w, &train, cfg, seed + 7000, MvmKernel::Packed);
+        let (y_ref, s_ref) = run(&w, &train, cfg, seed + 7000, MvmKernel::Reference);
+        prop_assert_eq!(s_packed, s_ref);
+        prop_assert_eq!(y_packed, y_ref, "packed must be bitwise reference on rails");
     }
 
     #[test]
@@ -190,13 +234,20 @@ proptest! {
             .collect();
         let noise = NoiseSpec::functional(0.2);
         let check = |tile: &Tile, op: usize| -> std::result::Result<(), TestCaseError> {
-            let mut fast = vec![0.0f32; cols];
             let mut slow = vec![0.0f32; cols];
-            let mut rng_a = Rng::from_seed(seed + 4000);
             let mut rng_b = Rng::from_seed(seed + 4000);
-            tile.mvm_with(&x, &noise, &mut rng_a, &mut fast, MvmKernel::Cached).unwrap();
             tile.mvm_with(&x, &noise, &mut rng_b, &mut slow, MvmKernel::Reference).unwrap();
-            prop_assert_eq!(fast, slow, "stale cache after op {}", op);
+            // Packed downgrades to Cached on this lossy device, so both
+            // fast kernels must track the raw-conductance loop bitwise
+            for kernel in [MvmKernel::Cached, MvmKernel::Packed] {
+                let mut fast = vec![0.0f32; cols];
+                let mut rng_a = Rng::from_seed(seed + 4000);
+                tile.mvm_with(&x, &noise, &mut rng_a, &mut fast, kernel).unwrap();
+                prop_assert_eq!(
+                    &fast, &slow,
+                    "stale cache after op {} under {:?}", op, kernel
+                );
+            }
             Ok(())
         };
         check(&tile, 99)?; // fresh from programming
@@ -212,6 +263,75 @@ proptest! {
                         .unwrap();
                 }
                 5 => tile.refresh(None, &mut rng, &mut stats),
+                _ => {
+                    let side = if k % 2 == 0 { CellSide::Pos } else { CellSide::Neg };
+                    let health = match k % 3 {
+                        0 => CellHealth::StuckOn,
+                        1 => CellHealth::StuckOff,
+                        _ => CellHealth::Healthy,
+                    };
+                    tile.inject_fault(k % rows, k % cols, side, health).unwrap();
+                }
+            }
+            check(&tile, op)?;
+        }
+    }
+
+    #[test]
+    fn mutations_never_leave_stale_packed_planes(
+        seed in 0u64..400,
+        rows in 3usize..10,
+        cols in 3usize..10,
+        ops in proptest::collection::vec(0usize..6, 1..10),
+    ) {
+        // the rails counterpart of `mutations_never_leave_a_stale_cache`:
+        // on a rail-programmed device the popcount kernel stays *engaged*
+        // through polarity flips, spare-line swaps, reprogramming,
+        // refresh, and fault injection (aging is deliberately excluded —
+        // drift de-rails the tile and is covered by the lossy test), so
+        // every mutator must rebuild the packed planes exactly where it
+        // patches the weight cache. A stale sign/active word or scale
+        // would break bitwise agreement with the raw-conductance loop.
+        let mut device = DeviceModel::ideal();
+        device.c2c_sigma = 0.02;
+        device.on_off_ratio = 20.0;
+        device.stuck_on_rate = 0.02;
+        device.stuck_off_rate = 0.02;
+        let w = pm1_matrix(rows, cols, seed);
+        let mut rng = Rng::from_seed(seed + 8000);
+        let mut tile = Tile::program(&w, &device, &mut rng).unwrap();
+        let mut stats = ProgramStats::default();
+
+        let x: Vec<f32> = (0..rows)
+            .map(|i| match (i + seed as usize) % 3 {
+                0 => 1.0,
+                1 => -1.0,
+                _ => 0.0, // undriven rows: exercises the valid plane
+            })
+            .collect();
+        let noise = NoiseSpec::functional(0.2);
+        let check = |tile: &Tile, op: usize| -> std::result::Result<(), TestCaseError> {
+            let mut fast = vec![0.0f32; cols];
+            let mut slow = vec![0.0f32; cols];
+            let mut rng_a = Rng::from_seed(seed + 9000);
+            let mut rng_b = Rng::from_seed(seed + 9000);
+            tile.mvm_with(&x, &noise, &mut rng_a, &mut fast, MvmKernel::Packed).unwrap();
+            tile.mvm_with(&x, &noise, &mut rng_b, &mut slow, MvmKernel::Reference).unwrap();
+            prop_assert_eq!(fast, slow, "stale packed planes after op {}", op);
+            Ok(())
+        };
+        check(&tile, 99)?; // fresh from programming
+        for (k, &op) in ops.iter().enumerate() {
+            match op {
+                0 => tile.flip_column(k % cols, &mut rng).unwrap(),
+                1 => tile.replace_row(k % rows, &mut rng).unwrap(),
+                2 => tile.replace_col(k % cols, &mut rng).unwrap(),
+                3 => {
+                    tile.reprogram_pair(k % rows, k % cols, &WriteVerify::standard(), &mut rng, &mut stats)
+                        .map(|_| ())
+                        .unwrap();
+                }
+                4 => tile.refresh(None, &mut rng, &mut stats),
                 _ => {
                     let side = if k % 2 == 0 { CellSide::Pos } else { CellSide::Neg };
                     let health = match k % 3 {

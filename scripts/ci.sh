@@ -21,8 +21,17 @@ cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=1
 cargo test -q -p membit-xbar --test proptest_determinism -- --test-threads=4
 
 echo "=== MVM kernel differential suite ==="
-# cached fast path vs reference oracle, plus cache-invalidation fuzzing
+# cached + packed fast paths vs reference oracle, plus cache/plane
+# staleness fuzzing across all mutators
 cargo test -q -p membit-xbar --test proptest_kernels
+
+echo "=== release-mode float determinism (tensor + kernel suites) ==="
+# the bitwise contracts must hold under optimized codegen too: release
+# builds changed vectorization/libm behavior have broken these before
+# (1-ULP sin divergence in results_identical_for_any_chunking, PR 8)
+cargo test -q --release -p membit-tensor
+cargo test -q --release -p membit-xbar --test proptest_kernels
+cargo test -q --release -p membit-xbar --test proptest_determinism
 
 echo "=== guard suite (stats merge algebra + checksum fuzzing) ==="
 cargo test -q -p membit-xbar --test proptest_stats

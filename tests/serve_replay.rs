@@ -10,7 +10,7 @@ use membit_core::{DeploymentPolicy, DeviceEvalConfig, DeviceVgg};
 use membit_nn::{Params, Vgg, VggConfig};
 use membit_serve::{replay, ServeConfig, ServeError, Server};
 use membit_tensor::{Rng, RngStream};
-use membit_xbar::{GuardPolicy, XbarConfig};
+use membit_xbar::{GuardPolicy, MvmKernel, XbarConfig};
 
 /// Deploys the tiny VGG afresh: same seeds → identical device state.
 fn deploy_tiny(seed: u64) -> DeviceVgg {
@@ -82,6 +82,57 @@ fn threaded_chaos_serving_replays_bitwise_at_any_thread_count() {
                 live.get(&id).expect("live response").as_slice(),
                 row.as_slice(),
                 "replay diverged for id {id} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_kernel_chaos_serving_replays_bitwise() {
+    // the popcount kernel behind the full serving stack: the functional
+    // deployment is rail-programmed, so Packed genuinely engages (not
+    // the downgrade path), and a chaos run must still replay bitwise
+    // from the log alone at any thread count.
+    let seed = 45;
+    let deploy_packed = || {
+        let mut dv = deploy_tiny(seed);
+        dv.set_kernel(MvmKernel::Packed);
+        assert!(dv.packed_ready(), "rails deployment must pack");
+        dv
+    };
+    let mut cfg = ServeConfig::standard(seed);
+    cfg.max_batch = 4;
+    let retry = cfg.retry;
+    let server = Server::start(deploy_packed(), cfg).expect("start");
+
+    let mut handles = Vec::new();
+    for i in 0..10 {
+        handles.push((i, server.submit(sample(i), None).expect("submit")));
+        if i == 3 || i == 7 {
+            server.inject_chaos(0.02).expect("chaos");
+        }
+    }
+    let mut live: HashMap<u64, Vec<f32>> = HashMap::new();
+    for (_, h) in handles {
+        let id = h.id();
+        let r = h.wait().expect("response");
+        live.insert(id, r.output);
+    }
+    let report = server.shutdown().expect("shutdown");
+    assert!(report.stats.accounted());
+    assert_eq!(report.stats.completed, 10);
+    assert_eq!(report.stats.chaos_events, 2);
+
+    for threads in [1usize, 4] {
+        let mut fresh = deploy_packed();
+        fresh.set_max_threads(threads).expect("threads");
+        let rows = replay(&mut fresh, seed, &retry, &report.log).expect("replay");
+        assert_eq!(rows.len(), 10);
+        for (id, row) in rows {
+            assert_eq!(
+                live.get(&id).expect("live response").as_slice(),
+                row.as_slice(),
+                "packed replay diverged for id {id} at {threads} threads"
             );
         }
     }
